@@ -1,0 +1,182 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+- **Granularity sensitivity** — how the day/week/month split trades
+  solvability against coverage (the paper's motivation for splitting).
+- **Solver strategy** — full model enumeration vs. backbone probing for
+  the non-censor elimination rule; backbone is exact at any cap.
+- **URL splitting** — merging all URLs into one CNF (no per-URL split)
+  destroys solvability, validating §3.1's design decision.
+"""
+
+from collections import defaultdict
+
+from repro.analysis.tables import format_table
+from repro.anomaly import Anomaly
+from repro.core.observations import Observation, build_observations
+from repro.core.problem import SolutionStatus, TomographyProblem
+from repro.core.splitting import ProblemKey, split_observations
+from repro.sat.backbone import backbone
+from repro.sat.enumerate import enumerate_models, models_agreeing_false
+from repro.util.timeutil import Granularity
+
+
+def test_ablation_granularity_sensitivity(benchmark, bench_world, bench_dataset):
+    """Coarser windows lose solvability on censored CNFs."""
+    observations, _ = build_observations(bench_dataset, bench_world.ip2as)
+
+    def solve_all():
+        groups = split_observations(observations)
+        outcome = defaultdict(lambda: [0, 0, 0])  # unsat, unique, multiple
+        for key, group in groups.items():
+            if not any(o.detected for o in group):
+                continue
+            solution = TomographyProblem(key, group, solution_cap=8).solve()
+            index = {
+                SolutionStatus.UNSATISFIABLE: 0,
+                SolutionStatus.UNIQUE: 1,
+                SolutionStatus.MULTIPLE: 2,
+            }[solution.status]
+            outcome[key.granularity][index] += 1
+        return outcome
+
+    outcome = benchmark.pedantic(solve_all, rounds=1, iterations=1)
+    print()
+    rows = []
+    for granularity in Granularity.all():
+        if granularity not in outcome:
+            continue
+        unsat, unique, multiple = outcome[granularity]
+        total = unsat + unique + multiple
+        rows.append(
+            (
+                granularity.value,
+                total,
+                f"{unsat / total:.1%}",
+                f"{unique / total:.1%}",
+                f"{multiple / total:.1%}",
+            )
+        )
+    print(
+        format_table(
+            ["granularity", "censored CNFs", "unsat", "unique", "multiple"],
+            rows,
+            title="Ablation — granularity sensitivity (censored CNFs)",
+        )
+    )
+    # UNSAT share rises with window size (policy churn + noise accumulate).
+    day_unsat = outcome[Granularity.DAY][0] / max(1, sum(outcome[Granularity.DAY]))
+    year_like = (
+        Granularity.YEAR if Granularity.YEAR in outcome else Granularity.MONTH
+    )
+    coarse_unsat = outcome[year_like][0] / max(1, sum(outcome[year_like]))
+    assert coarse_unsat >= day_unsat - 1e-9
+
+
+def test_ablation_backbone_vs_enumeration(benchmark, bench_world, bench_dataset):
+    """The paper's elimination rule, two ways: backbone probing must agree
+    with capped enumeration wherever the cap was not hit, and is the one
+    that stays exact beyond the cap."""
+    observations, _ = build_observations(bench_dataset, bench_world.ip2as)
+    groups = split_observations(observations, granularities=(Granularity.WEEK,))
+    censored = [
+        (key, group)
+        for key, group in groups.items()
+        if any(o.detected for o in group)
+    ]
+
+    def compare():
+        agreements = disagreements = capped = 0
+        for key, group in censored[:200]:
+            problem = TomographyProblem(key, group)
+            cnf, builder = problem.build_cnf()
+            enumeration = enumerate_models(cnf, cap=16)
+            if enumeration.unsatisfiable:
+                continue
+            bb = backbone(cnf)
+            enum_false = models_agreeing_false(enumeration.models)
+            if enumeration.capped:
+                capped += 1
+                # backbone-false is always a subset of capped enum-false
+                if bb.always_false <= enum_false:
+                    agreements += 1
+                else:
+                    disagreements += 1
+            else:
+                if bb.always_false == enum_false:
+                    agreements += 1
+                else:
+                    disagreements += 1
+        return agreements, disagreements, capped
+
+    agreements, disagreements, capped = benchmark.pedantic(
+        compare, rounds=1, iterations=1
+    )
+    print()
+    print(
+        format_table(
+            ["strategy comparison", "count"],
+            [
+                ("agreements", agreements),
+                ("disagreements", disagreements),
+                ("capped enumerations", capped),
+            ],
+            title="Ablation — backbone vs enumeration",
+        )
+    )
+    assert disagreements == 0
+    assert agreements > 0
+
+
+def test_ablation_no_url_splitting(benchmark, bench_world, bench_dataset):
+    """Merging every URL into one CNF (§3.1 ablation) breaks solvability:
+    different URLs have different censorship status, so clauses contradict."""
+    observations, _ = build_observations(
+        bench_dataset, bench_world.ip2as, anomalies=(Anomaly.TTL,)
+    )
+
+    def solve_merged():
+        merged = [
+            Observation(
+                url="merged://all",
+                anomaly=o.anomaly,
+                detected=o.detected,
+                as_path=o.as_path,
+                timestamp=o.timestamp,
+                measurement_id=o.measurement_id,
+            )
+            for o in observations
+        ]
+        groups = split_observations(merged, granularities=(Granularity.DAY,))
+        statuses = defaultdict(int)
+        for key, group in groups.items():
+            if not any(o.detected for o in group):
+                continue
+            solution = TomographyProblem(key, group, solution_cap=8).solve()
+            statuses[solution.status] += 1
+        return statuses
+
+    merged_statuses = benchmark.pedantic(solve_merged, rounds=1, iterations=1)
+
+    groups = split_observations(observations, granularities=(Granularity.DAY,))
+    split_statuses = defaultdict(int)
+    for key, group in groups.items():
+        if not any(o.detected for o in group):
+            continue
+        split_statuses[TomographyProblem(key, group, solution_cap=8).solve().status] += 1
+
+    def unsat_fraction(statuses):
+        total = sum(statuses.values())
+        return statuses[SolutionStatus.UNSATISFIABLE] / total if total else 0.0
+
+    print()
+    print(
+        format_table(
+            ["variant", "unsat fraction", "censored CNFs"],
+            [
+                ("per-URL CNFs (paper)", f"{unsat_fraction(split_statuses):.1%}", sum(split_statuses.values())),
+                ("merged CNFs (ablation)", f"{unsat_fraction(merged_statuses):.1%}", sum(merged_statuses.values())),
+            ],
+            title="Ablation — URL-based splitting",
+        )
+    )
+    assert unsat_fraction(merged_statuses) > unsat_fraction(split_statuses)

@@ -1,0 +1,89 @@
+"""Future-work extension benches (paper §5).
+
+Not paper artefacts — these exercise the two follow-ups the paper's
+conclusion commits to, demonstrating that the tomography machinery carries
+over to other measurement databases unchanged:
+
+- throttling localization from M-Lab-analog throughput data;
+- localization of ASes blocking Tor bridges.
+"""
+
+from repro.analysis.tables import format_table
+from repro.extensions.throttling import (
+    ThrottlingCampaignConfig,
+    localize_throttlers,
+)
+from repro.extensions.tor_bridges import (
+    BridgeCampaignConfig,
+    localize_bridge_blockers,
+)
+from repro.scenario import build_world, small
+from repro.util.timeutil import DAY
+
+
+def test_extension_throttling_localization(benchmark):
+    world = build_world(small(seed=11))
+    result = benchmark.pedantic(
+        localize_throttlers,
+        args=(world,),
+        kwargs={
+            "config": ThrottlingCampaignConfig(seed=11, end=10 * DAY, num_servers=5)
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ("true throttlers deployed", len(result.true_throttlers)),
+                ("exactly identified", len(result.identified)),
+                ("remaining potential", len(result.potential)),
+                ("problems solved", result.problems_solved),
+                ("unsat problems", result.unsat_problems),
+                ("precision", f"{result.precision:.1%}" if result.identified else "n/a"),
+            ],
+            title="Extension — throttling localization (M-Lab analog)",
+        )
+    )
+    assert result.problems_solved > 0
+    for asn in result.identified:
+        assert asn in result.true_throttlers
+
+
+def test_extension_bridge_blocking_localization(benchmark):
+    world = build_world(small(seed=12))
+    result = benchmark.pedantic(
+        localize_bridge_blockers,
+        args=(world,),
+        kwargs={
+            "config": BridgeCampaignConfig(
+                seed=12,
+                end=12 * DAY,
+                num_bridges=6,
+                blocker_fraction=0.8,
+                mean_discovery_days=2.0,
+            )
+        },
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(
+        format_table(
+            ["quantity", "value"],
+            [
+                ("true bridge hunters", len(result.true_blockers)),
+                ("exactly identified", len(result.identified)),
+                ("remaining potential", len(result.potential)),
+                ("problems solved", result.problems_solved),
+                ("unsat problems", result.unsat_problems),
+                ("precision", f"{result.precision:.1%}" if result.identified else "n/a"),
+            ],
+            title="Extension — Tor bridge blocking localization",
+        )
+    )
+    assert result.problems_solved > 0
+    for asn in result.identified:
+        assert asn in result.true_blockers

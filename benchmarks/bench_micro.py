@@ -1,0 +1,69 @@
+"""Micro-benchmarks for the performance-critical substrates.
+
+Not paper artefacts — these guard the components whose cost dominates the
+harness: the SAT solver, route computation, session simulation, and
+traceroute-to-AS-path conversion.
+"""
+
+from repro.core.aspath import convert_measurement
+from repro.routing.bgp import RouteComputer
+from repro.sat.cnf import CNF, Clause
+from repro.sat.solver import Solver
+from repro.util.rng import DeterministicRNG
+
+
+def test_micro_sat_random_3sat(benchmark):
+    """Solve a satisfiable-ish random 3-SAT instance at ratio 4.0."""
+    rng = DeterministicRNG(7, "bench-3sat")
+    num_vars = 60
+    clauses = []
+    for _ in range(240):
+        variables = rng.sample(range(1, num_vars + 1), 3)
+        clauses.append(
+            Clause([v if rng.random() < 0.5 else -v for v in variables])
+        )
+    cnf = CNF(num_vars, clauses)
+
+    def solve():
+        return Solver(cnf).solve()
+
+    result = benchmark(solve)
+    assert result.satisfiable in (True, False)
+
+
+def test_micro_route_computation(benchmark, bench_world):
+    """One full per-destination routing table on the benchmark topology."""
+    computer = RouteComputer(bench_world.graph, cache_size=0)
+    destination = bench_world.test_list.urls[0].dest_asn
+    salt_counter = iter(range(10**9))
+
+    def compute():
+        return computer.routing_table(destination, salt=next(salt_counter))
+
+    table = benchmark(compute)
+    assert len(table) > 0
+
+
+def test_micro_session_simulation(benchmark, bench_world):
+    """One end-to-end censorship test (DNS + HTTP + 3 traceroutes)."""
+    platform = bench_world.platform
+    vantage = bench_world.vantage_points[0]
+    test_url = bench_world.test_list.urls[0]
+    timestamps = iter(range(1000, 10**9, 37))
+
+    def run():
+        return platform.run_test(vantage, test_url, next(timestamps))
+
+    measurement = benchmark(run)
+    assert measurement is not None
+
+
+def test_micro_aspath_conversion(benchmark, bench_world, bench_dataset):
+    """Traceroute-to-AS-path conversion over one measurement."""
+    measurement = bench_dataset[0]
+
+    def convert():
+        return convert_measurement(measurement, bench_world.ip2as)
+
+    conversion = benchmark(convert)
+    assert conversion is not None

@@ -1,0 +1,58 @@
+"""Table 1 — ICLab dataset characteristics.
+
+Regenerates the paper's Table 1 (measurement counts and per-anomaly
+fractions) from the synthetic campaign.  Absolute counts differ (the
+synthetic world is ~1/20 scale and censoring countries are proportionally
+denser), but the structural facts the table conveys must hold: anomalies
+are rare relative to measurements, TTL/RST/SEQ dominate over DNS/blockpage,
+and URLs resolve into fewer destination ASes than there are URLs.
+"""
+
+from repro.analysis.reports import table1_rows
+from repro.analysis.tables import format_comparison, format_table
+from repro.anomaly import Anomaly
+
+PAPER_ROWS = {
+    "Unique URLs": 774,
+    "AS Vantage Points": 539,
+    "Destination ASes": 620,
+    "Countries": 219,
+    "Measurements": 4_900_000,
+}
+PAPER_ANOMALY_FRACTIONS = {
+    Anomaly.DNS: 0.0005,
+    Anomaly.SEQ: 0.0020,
+    Anomaly.TTL: 0.0035,
+    Anomaly.RST: 0.0017,
+    Anomaly.BLOCK: 0.0003,
+}
+
+
+def test_table1_dataset_characteristics(benchmark, bench_dataset):
+    stats = benchmark.pedantic(bench_dataset.stats, rounds=3, iterations=1)
+
+    print()
+    print(format_table(["quantity", "value"], table1_rows(stats), title="Table 1 (measured)"))
+    comparison = [
+        ("Unique URLs", PAPER_ROWS["Unique URLs"], stats.unique_urls),
+        ("AS Vantage Points", PAPER_ROWS["AS Vantage Points"], stats.vantage_ases),
+        ("Destination ASes", PAPER_ROWS["Destination ASes"], stats.dest_ases),
+        ("Countries", PAPER_ROWS["Countries"], stats.countries),
+        ("Measurements", f"{PAPER_ROWS['Measurements']:,}", f"{stats.measurements:,}"),
+    ]
+    for anomaly, paper_fraction in PAPER_ANOMALY_FRACTIONS.items():
+        comparison.append(
+            (
+                f"{anomaly.value} anomaly fraction",
+                f"{paper_fraction:.2%}",
+                f"{stats.anomaly_fraction(anomaly):.2%}",
+            )
+        )
+    print(format_comparison(comparison, title="Table 1 — paper vs measured"))
+
+    # Shape assertions: the table's structural claims.
+    assert stats.measurements > 10_000
+    assert stats.dest_ases <= stats.unique_urls  # URLs share hosts
+    total_anomaly_fraction = stats.total_anomalies / stats.measurements
+    assert total_anomaly_fraction < 0.25  # anomalies are the rare case
+    assert stats.anomaly_counts[Anomaly.TTL] >= stats.anomaly_counts[Anomaly.DNS]

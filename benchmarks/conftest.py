@@ -1,0 +1,68 @@
+"""Shared benchmark fixtures.
+
+Two worlds are built once per session:
+
+- ``bench_world`` — the paper-shaped scenario (Poisson scheduling, 45
+  simulated days) used by the dataset/solvability/censor/leakage benches;
+- ``sweep_world`` — a smaller world with ICLab-style per-pair sweep
+  scheduling (3 probes per pair per day), dense enough to *observe*
+  intra-day path churn, used by the Figure-3/4 benches.
+
+Every bench prints the paper's value next to the measured value; the
+benchmark timer wraps the computation that produces the figure/table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig
+from repro.iclab.platform import PlatformConfig
+from repro.scenario.presets import paper_shaped
+from repro.scenario.world import build_world
+from repro.util.timeutil import DAY
+
+
+@pytest.fixture(scope="session")
+def bench_world():
+    """The paper-shaped benchmark world."""
+    return build_world(paper_shaped(seed=1, duration_days=45))
+
+
+@pytest.fixture(scope="session")
+def bench_dataset(bench_world):
+    """The paper-shaped campaign dataset."""
+    return bench_world.run_campaign()
+
+
+@pytest.fixture(scope="session")
+def bench_result(bench_world, bench_dataset):
+    """Localization output over the benchmark dataset."""
+    return bench_world.pipeline(PipelineConfig()).run(bench_dataset)
+
+
+@pytest.fixture(scope="session")
+def sweep_world():
+    """Sweep-scheduled world for churn observation (Figures 3 and 4)."""
+    days = 28
+    config = dataclasses.replace(
+        paper_shaped(seed=2, duration_days=days),
+        num_urls=12,
+        num_vantage_points=30,
+        platform=PlatformConfig(
+            seed=2,
+            start=0,
+            end=days * DAY,
+            schedule="sweep",
+            sweeps_per_pair_per_day=3.0,
+        ),
+    )
+    return build_world(config)
+
+
+@pytest.fixture(scope="session")
+def sweep_dataset(sweep_world):
+    """The sweep campaign dataset."""
+    return sweep_world.run_campaign()

@@ -1,0 +1,57 @@
+"""repro — censorship localization via path churn and network tomography.
+
+A full reproduction of Cho et al., *A Churn for the Better: Localizing
+Censorship using Network-level Path Churn and Network Tomography*
+(CoNExT 2017), including every substrate the paper depends on: a synthetic
+AS-level Internet with Gao-Rexford routing and path churn, a packet-level
+censorship simulator, an ICLab-analog measurement platform with the five
+anomaly detectors, a from-scratch SAT solver, and the boolean-tomography
+localization pipeline itself.
+
+Quickstart::
+
+    from repro import scenario
+
+    world = scenario.build_world(scenario.tiny())
+    dataset = world.run_campaign()
+    result = world.pipeline().run(dataset)
+    print(result.by_status(), result.identified_censor_asns)
+
+See README.md for the architecture overview and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro import (
+    analysis,
+    censorship,
+    core,
+    iclab,
+    netsim,
+    routing,
+    sat,
+    scenario,
+    topology,
+    traceroute,
+    urls,
+    util,
+)
+from repro.anomaly import Anomaly
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Anomaly",
+    "analysis",
+    "censorship",
+    "core",
+    "iclab",
+    "netsim",
+    "routing",
+    "sat",
+    "scenario",
+    "topology",
+    "traceroute",
+    "urls",
+    "util",
+    "__version__",
+]

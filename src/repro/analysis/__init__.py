@@ -1,0 +1,42 @@
+"""Analyses that regenerate the paper's tables and figures.
+
+- :mod:`~repro.analysis.churn` — distinct-path statistics per (src, dst)
+  over day/week/month/year windows (Figure 3);
+- :mod:`~repro.analysis.solvability` — number-of-solutions distributions by
+  granularity, anomaly type, and churn ablation (Figures 1a, 1b, 4);
+- :mod:`~repro.analysis.reports` — Table 1 (dataset characteristics),
+  Table 2 (regions with most censors), Table 3 (top leakers), and the
+  Figure-5 country flow matrix;
+- :mod:`~repro.analysis.tables` — plain-text table/CDF rendering shared by
+  benchmarks and examples.
+"""
+
+from repro.analysis.churn import ChurnStats, churn_from_observations, churn_from_oracle
+from repro.analysis.reports import (
+    flow_matrix_rows,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.analysis.solvability import (
+    SolvabilityHistogram,
+    solvability_by_anomaly,
+    solvability_by_granularity,
+)
+from repro.analysis.tables import format_cdf, format_histogram, format_table
+
+__all__ = [
+    "ChurnStats",
+    "churn_from_observations",
+    "churn_from_oracle",
+    "SolvabilityHistogram",
+    "solvability_by_granularity",
+    "solvability_by_anomaly",
+    "table1_rows",
+    "table2_rows",
+    "table3_rows",
+    "flow_matrix_rows",
+    "format_table",
+    "format_histogram",
+    "format_cdf",
+]

@@ -1,0 +1,122 @@
+"""Path-churn measurement (paper §4, Figure 3).
+
+The paper counts the number of distinct AS-level paths observed between
+each (source, destination) pair within every day, week, month, and the
+whole year, and reports the distribution over (pair, window) samples.  Two
+measurement routes are provided:
+
+- :func:`churn_from_observations` — from measurement data, exactly as the
+  paper does (only what traceroutes observed counts);
+- :func:`churn_from_oracle` — ground truth from the churn schedules, used
+  by tests to validate the measured numbers and by the ablation benches.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.core.observations import Observation
+from repro.routing.churn import PathOracle
+from repro.util.timeutil import Granularity, window_of
+
+
+@dataclass
+class ChurnStats:
+    """Distribution of distinct-path counts over (pair, window) samples."""
+
+    granularity: Granularity
+    samples: List[int] = field(default_factory=list)  # distinct paths/sample
+
+    def add(self, distinct_paths: int) -> None:
+        """Record one (pair, window) sample."""
+        if distinct_paths < 1:
+            raise ValueError("a sample needs at least one observed path")
+        self.samples.append(distinct_paths)
+
+    @property
+    def count(self) -> int:
+        """Number of samples."""
+        return len(self.samples)
+
+    @property
+    def churn_fraction(self) -> float:
+        """Fraction of samples observing 2+ distinct paths.
+
+        This is the paper's headline churn number (≈25% per day, ≈30% per
+        week, ≈38% per month, ≈67% per year).
+        """
+        if not self.samples:
+            return 0.0
+        return sum(1 for s in self.samples if s >= 2) / len(self.samples)
+
+    def histogram(self, top_bucket: int = 5) -> Dict[str, float]:
+        """Fractions over buckets 1, 2, ..., top_bucket+ (Figure 3's bars)."""
+        if not self.samples:
+            return {}
+        out: Dict[str, float] = {}
+        total = len(self.samples)
+        for value in range(1, top_bucket):
+            out[str(value)] = sum(1 for s in self.samples if s == value) / total
+        out[f"{top_bucket}+"] = (
+            sum(1 for s in self.samples if s >= top_bucket) / total
+        )
+        return out
+
+
+def churn_from_observations(
+    observations: Iterable[Observation],
+    granularities: Sequence[Granularity] = Granularity.all(),
+) -> Dict[Granularity, ChurnStats]:
+    """Measure churn the way the paper does: from observed AS paths.
+
+    Pairs are (vantage AS, destination AS); each (pair, window) with at
+    least one conclusive path contributes one sample counting its distinct
+    paths.
+    """
+    paths_seen: Dict[Granularity, Dict[Tuple, set]] = {
+        g: {} for g in granularities
+    }
+    for observation in observations:
+        pair = (observation.vantage_asn, observation.dest_asn)
+        for granularity in granularities:
+            window = window_of(observation.timestamp, granularity)
+            key = (pair, window.start)
+            paths_seen[granularity].setdefault(key, set()).add(
+                observation.as_path
+            )
+    out: Dict[Granularity, ChurnStats] = {}
+    for granularity in granularities:
+        stats = ChurnStats(granularity=granularity)
+        for paths in paths_seen[granularity].values():
+            stats.add(len(paths))
+        out[granularity] = stats
+    return out
+
+
+def churn_from_oracle(
+    oracle: PathOracle,
+    pairs: Sequence[Tuple[int, int]],
+    horizon: int,
+    granularities: Sequence[Granularity] = Granularity.all(),
+) -> Dict[Granularity, ChurnStats]:
+    """Ground-truth churn: distinct scheduled paths per (pair, window)."""
+    out: Dict[Granularity, ChurnStats] = {
+        g: ChurnStats(granularity=g) for g in granularities
+    }
+    for src, dst in pairs:
+        schedule = oracle.schedule_for(src, dst)
+        if not schedule.alternatives or schedule.alternatives == [()]:
+            continue
+        for granularity in granularities:
+            size = granularity.seconds
+            start = 0
+            while start < horizon:
+                end = min(start + size, horizon)
+                distinct = schedule.distinct_paths_in(start, end)
+                out[granularity].add(len(distinct))
+                start += size
+    return out
+
+
+__all__ = ["ChurnStats", "churn_from_observations", "churn_from_oracle"]

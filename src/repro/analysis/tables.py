@@ -1,0 +1,85 @@
+"""Plain-text rendering of tables, histograms, and CDFs.
+
+Benchmarks print the same rows/series the paper's tables and figures
+report; these helpers keep the output uniform and diff-friendly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str = "",
+) -> str:
+    """Render an aligned ASCII table.
+
+    >>> print(format_table(["a", "b"], [[1, 22], [333, 4]]))
+    a   | b
+    ----+---
+    1   | 22
+    333 | 4
+    """
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(header.ljust(width) for header, width in zip(headers, widths))
+    )
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in materialized:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def format_histogram(
+    buckets: Dict[str, float],
+    title: str = "",
+    bar_width: int = 40,
+) -> str:
+    """Render a labelled fraction histogram with unicode-free bars."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, fraction in buckets.items():
+        bar = "#" * round(fraction * bar_width)
+        lines.append(f"  {label:>4}: {fraction:6.1%} {bar}")
+    return "\n".join(lines)
+
+
+def format_cdf(
+    points: Sequence[Tuple[float, float]],
+    title: str = "",
+    x_label: str = "x",
+) -> str:
+    """Render CDF sample points as aligned (x, F(x)) rows."""
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for x, fraction in points:
+        lines.append(f"  {x_label}={x:7.2f}  F={fraction:6.1%}")
+    return "\n".join(lines)
+
+
+def format_comparison(
+    rows: Iterable[Tuple[str, object, object]],
+    title: str = "",
+) -> str:
+    """Paper-vs-measured comparison table used by every benchmark."""
+    return format_table(
+        ["quantity", "paper", "measured"],
+        [[name, paper, measured] for name, paper, measured in rows],
+        title=title,
+    )
+
+
+__all__ = ["format_table", "format_histogram", "format_cdf", "format_comparison"]

@@ -1,0 +1,42 @@
+"""Censor models: on-path middleboxes, policies, and deployment.
+
+The synthetic world's censors are :class:`~repro.netsim.middlebox.Middlebox`
+implementations attached to ASes.  Each censor has:
+
+- a **policy** (:mod:`~repro.censorship.policy`): which URL categories it
+  blocks, changing over time (policy churn is one of the paper's two causes
+  of unsolvable CNFs);
+- a **technique** per domain (:mod:`~repro.censorship.censor`): DNS
+  injection, RST injection, sequence tampering, blockpage injection,
+  transparent-proxy blockpages, or throttling — each leaving its
+  characteristic packet artefacts;
+- a **scope**: scoped censors only act on traffic of clients in their own
+  country (ACL-style deployments); unscoped censors act on *all* transiting
+  traffic, which is precisely what produces censorship leakage.
+
+:mod:`~repro.censorship.deployment` places censors in a topology and keeps
+the ground truth that tests and benchmarks validate against.
+"""
+
+from repro.censorship.blockpage import BLOCKPAGE_TEMPLATES, render_blockpage
+from repro.censorship.censor import CensorMiddlebox, Technique
+from repro.censorship.deployment import (
+    CensorDeployment,
+    CountryCensorshipProfile,
+    DeploymentConfig,
+    deploy_censors,
+)
+from repro.censorship.policy import CensorshipPolicy, PolicyEpoch
+
+__all__ = [
+    "Technique",
+    "CensorMiddlebox",
+    "CensorshipPolicy",
+    "PolicyEpoch",
+    "BLOCKPAGE_TEMPLATES",
+    "render_blockpage",
+    "CensorDeployment",
+    "DeploymentConfig",
+    "CountryCensorshipProfile",
+    "deploy_censors",
+]

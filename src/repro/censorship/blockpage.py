@@ -1,0 +1,76 @@
+"""Blockpage HTML templates and fingerprints.
+
+The ICLab platform detects blockpages two ways (paper §2.1): regular-
+expression matching against a corpus of known blockpages (OONI's corpus in
+the paper) and comparison against censor-free baseline fetches (Jones et
+al.).  These templates are the synthetic corpus: each carries a distinctive
+marker string the regex detector keys on, and their lengths differ sharply
+from ordinary pages so the length-comparison detector fires too.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+# Marker -> template. Markers are what the detector's regex corpus matches.
+BLOCKPAGE_TEMPLATES: Dict[str, str] = {
+    "gov-filter": (
+        "<html><head><title>Access Denied</title></head><body>"
+        "<h1>Access to this website has been blocked</h1>"
+        "<p>Pursuant to national regulation, access to {domain} is denied."
+        " Reference: GOV-FILTER-{asn}.</p></body></html>"
+    ),
+    "netguard": (
+        "<html><head><title>NetGuard Web Filter</title></head><body>"
+        "<div class='netguard-banner'>NetGuard: the requested page"
+        " ({domain}) falls under a restricted category.</div>"
+        "<small>appliance id asn-{asn}</small></body></html>"
+    ),
+    "isp-notice": (
+        "<html><head><title>Site Unavailable</title></head><body>"
+        "<p>Your internet provider has restricted access to {domain}"
+        " in accordance with applicable law. ISP-NOTICE asn {asn}.</p>"
+        "</body></html>"
+    ),
+    "court-order": (
+        "<html><head><title>Blocked by court order</title></head><body>"
+        "<h2>This domain ({domain}) is blocked by court order"
+        " COURT-ORDER/{asn}.</h2></body></html>"
+    ),
+}
+
+# Regexes (as plain substrings here) the detector corpus looks for; kept in
+# sync with the templates above.  Real corpora carry patterns like these.
+BLOCKPAGE_FINGERPRINTS: Tuple[str, ...] = (
+    "GOV-FILTER-",
+    "NetGuard: the requested page",
+    "ISP-NOTICE asn",
+    "COURT-ORDER/",
+    "has been blocked",
+)
+
+
+def render_blockpage(template_key: str, domain: str, asn: int) -> str:
+    """Instantiate a blockpage template for a domain and censor ASN.
+
+    >>> "GOV-FILTER-64500" in render_blockpage("gov-filter", "x.com", 64500)
+    True
+    """
+    try:
+        template = BLOCKPAGE_TEMPLATES[template_key]
+    except KeyError:
+        raise KeyError(f"unknown blockpage template: {template_key!r}") from None
+    return template.format(domain=domain, asn=asn)
+
+
+def looks_like_blockpage(body: str) -> bool:
+    """Whether ``body`` matches the synthetic fingerprint corpus."""
+    return any(fingerprint in body for fingerprint in BLOCKPAGE_FINGERPRINTS)
+
+
+__all__ = [
+    "BLOCKPAGE_TEMPLATES",
+    "BLOCKPAGE_FINGERPRINTS",
+    "render_blockpage",
+    "looks_like_blockpage",
+]

@@ -1,0 +1,64 @@
+"""The paper's contribution: censorship localization by boolean tomography.
+
+Pipeline stages (paper §3):
+
+1. :mod:`~repro.core.aspath` — convert each measurement's three IP-level
+   traceroutes to a single AS-level path via historical IP-to-AS data,
+   discarding the four inconclusive cases of §3.1;
+2. :mod:`~repro.core.observations` — distill measurements into
+   (URL, anomaly, AS path, detected?, time) observations;
+3. :mod:`~repro.core.splitting` — group observations into one problem per
+   (URL, anomaly, time window) at day/week/month/year granularities;
+4. :mod:`~repro.core.problem` — build the CNF (a positive clause per
+   censored observation, negative units per clean one) and solve it,
+   classifying by number of solutions (0 / 1 / 2+);
+5. :mod:`~repro.core.censors` — aggregate exact censor identifications;
+6. :mod:`~repro.core.reduction` — candidate-set reduction for
+   multi-solution problems (definite non-censors);
+7. :mod:`~repro.core.leakage` — censorship-leakage victims (§3.3);
+8. :mod:`~repro.core.pipeline` — the end-to-end driver, including the
+   paper's no-churn ablation (Figure 4).
+"""
+
+from repro.core.aspath import (
+    AsPathConversion,
+    ConversionOutcome,
+    InconclusiveReason,
+    convert_measurement,
+)
+from repro.core.censors import CensorFinding, CensorReport, identify_censors
+from repro.core.leakage import LeakageRecord, LeakageReport, identify_leakage
+from repro.core.observations import DiscardStats, Observation, build_observations
+from repro.core.pipeline import (
+    LocalizationPipeline,
+    PipelineConfig,
+    PipelineResult,
+)
+from repro.core.problem import ProblemKey, SolutionStatus, TomographyProblem
+from repro.core.reduction import ReductionStats, reduction_of
+from repro.core.splitting import split_observations
+
+__all__ = [
+    "InconclusiveReason",
+    "ConversionOutcome",
+    "AsPathConversion",
+    "convert_measurement",
+    "Observation",
+    "DiscardStats",
+    "build_observations",
+    "split_observations",
+    "ProblemKey",
+    "TomographyProblem",
+    "SolutionStatus",
+    "identify_censors",
+    "CensorFinding",
+    "CensorReport",
+    "identify_leakage",
+    "LeakageRecord",
+    "LeakageReport",
+    "reduction_of",
+    "ReductionStats",
+    "LocalizationPipeline",
+    "PipelineConfig",
+    "PipelineResult",
+]

@@ -1,0 +1,133 @@
+"""Measurements → boolean path observations.
+
+An :class:`Observation` is the tomography's atom: "at time t, the AS path
+``p`` was tested for anomaly ``a`` on URL ``u``, and the anomaly was (not)
+observed".  One measurement yields one observation per anomaly type, all
+sharing the measurement's converted AS path; measurements whose traceroutes
+were inconclusive are discarded and tallied in :class:`DiscardStats`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.anomaly import Anomaly
+from repro.core.aspath import InconclusiveReason, convert_measurement
+from repro.iclab.dataset import Dataset
+from repro.iclab.measurement import Measurement
+from repro.topology.ip2as import IpToAsDatabase
+
+
+@dataclass(frozen=True)
+class Observation:
+    """One boolean end-to-end measurement over one AS path."""
+
+    url: str
+    anomaly: Anomaly
+    detected: bool
+    as_path: Tuple[int, ...]
+    timestamp: int
+    measurement_id: int
+
+    def __post_init__(self) -> None:
+        if not self.as_path:
+            raise ValueError("observation requires a non-empty AS path")
+
+    @property
+    def vantage_asn(self) -> int:
+        """The path's first AS (the vantage point's)."""
+        return self.as_path[0]
+
+    @property
+    def dest_asn(self) -> int:
+        """The path's last AS."""
+        return self.as_path[-1]
+
+
+@dataclass
+class DiscardStats:
+    """How many measurements survived conversion, and why others did not."""
+
+    total: int = 0
+    converted: int = 0
+    discarded_by_reason: Dict[InconclusiveReason, int] = field(
+        default_factory=dict
+    )
+
+    @property
+    def discarded(self) -> int:
+        """Total number of discarded measurements."""
+        return sum(self.discarded_by_reason.values())
+
+    @property
+    def conversion_rate(self) -> float:
+        """Fraction of measurements yielding a conclusive AS path."""
+        return self.converted / self.total if self.total else 0.0
+
+    def record_discard(self, reason: InconclusiveReason) -> None:
+        """Tally one discarded measurement."""
+        self.discarded_by_reason[reason] = (
+            self.discarded_by_reason.get(reason, 0) + 1
+        )
+
+
+def build_observations(
+    dataset: Dataset,
+    ip2as: IpToAsDatabase,
+    anomalies: Sequence[Anomaly] = Anomaly.all(),
+) -> Tuple[List[Observation], DiscardStats]:
+    """Convert an entire dataset into observations.
+
+    Returns the observations plus discard statistics.  Each surviving
+    measurement contributes ``len(anomalies)`` observations sharing its
+    AS path.
+    """
+    observations: List[Observation] = []
+    stats = DiscardStats()
+    for measurement in dataset:
+        stats.total += 1
+        conversion = convert_measurement(measurement, ip2as)
+        if not conversion.ok:
+            assert conversion.reason is not None
+            stats.record_discard(conversion.reason)
+            continue
+        stats.converted += 1
+        for anomaly in anomalies:
+            observations.append(
+                Observation(
+                    url=measurement.url,
+                    anomaly=anomaly,
+                    detected=measurement.detected(anomaly),
+                    as_path=conversion.as_path,
+                    timestamp=measurement.timestamp,
+                    measurement_id=measurement.measurement_id,
+                )
+            )
+    return observations, stats
+
+
+def first_path_only(observations: Iterable[Observation]) -> List[Observation]:
+    """The paper's no-churn ablation filter (Figure 4).
+
+    Keeps, per (vantage, URL), only observations whose AS path equals the
+    *first observed distinct path* for that pair — i.e., discards every
+    measurement that only exists thanks to path churn.
+    """
+    ordered = sorted(observations, key=lambda o: (o.timestamp, o.measurement_id))
+    first_path: Dict[Tuple[int, str], Tuple[int, ...]] = {}
+    kept: List[Observation] = []
+    for observation in ordered:
+        key = (observation.vantage_asn, observation.url)
+        anchor = first_path.setdefault(key, observation.as_path)
+        if observation.as_path == anchor:
+            kept.append(observation)
+    return kept
+
+
+__all__ = [
+    "Observation",
+    "DiscardStats",
+    "build_observations",
+    "first_path_only",
+]

@@ -1,0 +1,167 @@
+"""End-to-end localization pipeline (§3).
+
+``LocalizationPipeline.run`` executes the full chain —
+
+    dataset → AS paths → observations → per-(URL, anomaly, window)
+    problems → SAT solutions → censors + reduction + leakage —
+
+and returns a :class:`PipelineResult` with every intermediate the paper's
+figures need.  ``run_without_churn`` applies the Figure-4 ablation (only
+the first observed distinct path per pair) before problem construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.anomaly import Anomaly
+from repro.core.censors import CensorReport, identify_censors
+from repro.core.leakage import LeakageReport, identify_leakage
+from repro.core.observations import (
+    DiscardStats,
+    Observation,
+    build_observations,
+    first_path_only,
+)
+from repro.core.problem import (
+    DEFAULT_SOLUTION_CAP,
+    ProblemSolution,
+    SolutionStatus,
+    TomographyProblem,
+)
+from repro.core.reduction import ReductionStats, reduction_of
+from repro.core.splitting import ProblemKey, split_observations
+from repro.iclab.dataset import Dataset
+from repro.topology.ip2as import IpToAsDatabase
+from repro.util.timeutil import Granularity
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Pipeline knobs."""
+
+    granularities: Tuple[Granularity, ...] = (
+        Granularity.DAY,
+        Granularity.WEEK,
+        Granularity.MONTH,
+    )
+    anomalies: Tuple[Anomaly, ...] = Anomaly.all()
+    solution_cap: int = DEFAULT_SOLUTION_CAP
+    skip_anomaly_free_problems: bool = False
+    # ^ when True, problems without any detected anomaly (whose solution is
+    #   trivially the unique all-False assignment) are not solved; Figure 1
+    #   counts them, so the default keeps them.
+
+
+@dataclass
+class PipelineResult:
+    """Everything produced by one pipeline run."""
+
+    solutions: List[ProblemSolution]
+    observations_by_key: Dict[ProblemKey, List[Observation]]
+    discard_stats: DiscardStats
+    censor_report: CensorReport
+    leakage_report: LeakageReport
+    reduction_stats: ReductionStats
+
+    def by_status(self) -> Dict[SolutionStatus, int]:
+        """Problem counts per solution status."""
+        counts: Dict[SolutionStatus, int] = {s: 0 for s in SolutionStatus}
+        for solution in self.solutions:
+            counts[solution.status] += 1
+        return counts
+
+    def solutions_for(
+        self,
+        granularity: Optional[Granularity] = None,
+        anomaly: Optional[Anomaly] = None,
+        censored_only: bool = False,
+    ) -> List[ProblemSolution]:
+        """Filter solutions by granularity / anomaly / censoredness."""
+        out = []
+        for solution in self.solutions:
+            if granularity is not None and solution.key.granularity != granularity:
+                continue
+            if anomaly is not None and solution.key.anomaly != anomaly:
+                continue
+            if censored_only and not solution.had_anomaly:
+                continue
+            out.append(solution)
+        return out
+
+    @property
+    def identified_censor_asns(self) -> List[int]:
+        """Distinct exactly-identified censoring ASNs."""
+        return self.censor_report.censor_asns
+
+
+class LocalizationPipeline:
+    """Drives the full §3 procedure over a dataset."""
+
+    def __init__(
+        self,
+        ip2as: IpToAsDatabase,
+        country_by_asn: Dict[int, str],
+        config: PipelineConfig = PipelineConfig(),
+    ) -> None:
+        self.ip2as = ip2as
+        self.country_by_asn = dict(country_by_asn)
+        self.config = config
+
+    # -- public entry points ---------------------------------------------
+
+    def run(self, dataset: Dataset) -> PipelineResult:
+        """Localize censors from a dataset."""
+        observations, discard_stats = build_observations(
+            dataset, self.ip2as, anomalies=self.config.anomalies
+        )
+        return self._run_from_observations(observations, discard_stats)
+
+    def run_without_churn(self, dataset: Dataset) -> PipelineResult:
+        """The Figure-4 ablation: drop every churn-created path."""
+        observations, discard_stats = build_observations(
+            dataset, self.ip2as, anomalies=self.config.anomalies
+        )
+        return self._run_from_observations(
+            first_path_only(observations), discard_stats
+        )
+
+    # -- internals -----------------------------------------------------------
+
+    def _run_from_observations(
+        self,
+        observations: Sequence[Observation],
+        discard_stats: DiscardStats,
+    ) -> PipelineResult:
+        groups = split_observations(
+            observations, granularities=self.config.granularities
+        )
+        solutions: List[ProblemSolution] = []
+        for key, group in groups.items():
+            if self.config.skip_anomaly_free_problems and not any(
+                observation.detected for observation in group
+            ):
+                continue
+            problem = TomographyProblem(
+                key, group, solution_cap=self.config.solution_cap
+            )
+            solutions.append(problem.solve())
+        censor_report = identify_censors(
+            solutions, country_by_asn=self.country_by_asn
+        )
+        leakage_report = identify_leakage(
+            solutions, groups, self.country_by_asn
+        )
+        reduction_stats = reduction_of(solutions)
+        return PipelineResult(
+            solutions=solutions,
+            observations_by_key=groups,
+            discard_stats=discard_stats,
+            censor_report=censor_report,
+            leakage_report=leakage_report,
+            reduction_stats=reduction_stats,
+        )
+
+
+__all__ = ["PipelineConfig", "PipelineResult", "LocalizationPipeline"]

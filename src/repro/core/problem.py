@@ -1,0 +1,253 @@
+"""One tomography problem: CNF construction and solution analysis (§3.1-3.2).
+
+Clause semantics: a censored observation of path ``X → Y → Z`` contributes
+the positive clause ``(X ∨ Y ∨ Z)``; a clean observation contributes the
+negative unit clauses ``¬X``, ``¬Y``, ``¬Z`` (the whole path is exonerated).
+
+Solving proceeds in two stages.  Unit propagation alone decides most
+instances (the characteristic shape is many negative units plus a few
+positive clauses).  Undecided residuals go to the CDCL solver: model
+enumeration (with a cap) yields the paper's 0 / 1 / 2+ classification, and
+backbone extraction yields the exact True/False/free status of every AS —
+"False in all returned solutions" marks definite non-censors.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.core.observations import Observation
+from repro.core.splitting import ProblemKey
+from repro.sat.backbone import backbone
+from repro.sat.cnf import CNF, CNFBuilder
+from repro.sat.enumerate import enumerate_models
+from repro.sat.simplify import propagate_units
+
+DEFAULT_SOLUTION_CAP = 16
+
+
+class SolutionStatus(enum.Enum):
+    """The paper's three-way classification of a CNF."""
+
+    UNSATISFIABLE = "unsat"   # 0 solutions: noise or a policy change
+    UNIQUE = "unique"         # 1 solution: censors exactly identified
+    MULTIPLE = "multiple"     # 2+ solutions: candidate set to narrow
+
+
+@dataclass
+class ProblemSolution:
+    """Everything the analyses need to know about one solved problem.
+
+    ``censors`` is meaningful for UNIQUE problems (ASes assigned True).
+    For MULTIPLE problems, ``potential_censors`` holds ASes True in at
+    least one solution and ``eliminated`` the definite non-censors (False
+    in all solutions).  ``num_solutions`` is exact up to ``capped``.
+    """
+
+    key: ProblemKey
+    status: SolutionStatus
+    num_solutions: int
+    capped: bool
+    observed_ases: FrozenSet[int]
+    censors: FrozenSet[int] = frozenset()
+    potential_censors: FrozenSet[int] = frozenset()
+    eliminated: FrozenSet[int] = frozenset()
+    clause_count: int = 0
+    positive_clause_count: int = 0
+
+    @property
+    def had_anomaly(self) -> bool:
+        """Whether the problem contained at least one censored observation."""
+        return self.positive_clause_count > 0
+
+    @property
+    def reduction_fraction(self) -> Optional[float]:
+        """Fraction of observed ASes eliminated as definite non-censors.
+
+        Defined for MULTIPLE problems (the Figure 2 quantity); None
+        otherwise.
+        """
+        if self.status is not SolutionStatus.MULTIPLE or not self.observed_ases:
+            return None
+        return len(self.eliminated) / len(self.observed_ases)
+
+
+class TomographyProblem:
+    """Builds and solves the CNF for one (URL, anomaly, window) group."""
+
+    def __init__(
+        self,
+        key: ProblemKey,
+        observations: Sequence[Observation],
+        solution_cap: int = DEFAULT_SOLUTION_CAP,
+    ) -> None:
+        if not observations:
+            raise ValueError("a problem needs at least one observation")
+        for observation in observations:
+            if observation.url != key.url or observation.anomaly != key.anomaly:
+                raise ValueError("observation does not belong to this problem")
+            if not key.window.contains(observation.timestamp):
+                raise ValueError("observation outside the problem window")
+        self.key = key
+        self.observations = list(observations)
+        self.solution_cap = solution_cap
+        self._builder: Optional[CNFBuilder] = None
+
+    # -- CNF construction ---------------------------------------------------
+
+    def build_cnf(self) -> Tuple[CNF, CNFBuilder]:
+        """Construct the problem's CNF (memoized builder)."""
+        builder = CNFBuilder()
+        positive = 0
+        # Deduplicate identical clauses: repeated identical measurements add
+        # no information and only slow enumeration down.
+        seen_positive: Set[Tuple[int, ...]] = set()
+        seen_negative: Set[Tuple[int, ...]] = set()
+        for observation in self.observations:
+            path = observation.as_path
+            if observation.detected:
+                if path not in seen_positive:
+                    seen_positive.add(path)
+                    builder.add_clause_named(list(path), positive=True)
+                    positive += 1
+            else:
+                if path not in seen_negative:
+                    seen_negative.add(path)
+                    builder.add_clause_named(list(path), positive=False)
+        self._positive_count = positive
+        self._builder = builder
+        return builder.build(), builder
+
+    # -- solving ---------------------------------------------------------------
+
+    def solve(self) -> ProblemSolution:
+        """Solve the CNF and classify per the paper's §3.2."""
+        cnf, builder = self.build_cnf()
+        observed: FrozenSet[int] = frozenset(
+            asn for observation in self.observations for asn in observation.as_path
+        )
+        clause_count = len(cnf.clauses)
+        positive_count = self._positive_count
+
+        propagation = propagate_units(cnf)
+        if propagation.conflict:
+            return ProblemSolution(
+                key=self.key,
+                status=SolutionStatus.UNSATISFIABLE,
+                num_solutions=0,
+                capped=False,
+                observed_ases=observed,
+                clause_count=clause_count,
+                positive_clause_count=positive_count,
+            )
+        forced_named = {
+            builder.name_of(var): value for var, value in propagation.forced.items()
+        }
+        if not propagation.residual:
+            # Fully decided by propagation.  Variables never forced are
+            # unconstrained (they only appeared in satisfied clauses) and
+            # make the solution non-unique.
+            free = [
+                name for name in builder.names if name not in forced_named
+            ]
+            if not free:
+                censors = frozenset(
+                    asn for asn, value in forced_named.items() if value
+                )
+                eliminated = frozenset(
+                    asn for asn, value in forced_named.items() if not value
+                )
+                return ProblemSolution(
+                    key=self.key,
+                    status=SolutionStatus.UNIQUE,
+                    num_solutions=1,
+                    capped=False,
+                    observed_ases=observed,
+                    censors=censors,
+                    eliminated=eliminated,
+                    clause_count=clause_count,
+                    positive_clause_count=positive_count,
+                )
+            count = min(self.solution_cap, 2 ** len(free))
+            capped = 2 ** len(free) > self.solution_cap
+            potential = frozenset(
+                asn for asn, value in forced_named.items() if value
+            ) | frozenset(free)
+            eliminated = frozenset(
+                asn for asn, value in forced_named.items() if not value
+            )
+            return ProblemSolution(
+                key=self.key,
+                status=SolutionStatus.MULTIPLE,
+                num_solutions=count,
+                capped=capped,
+                observed_ases=observed,
+                potential_censors=potential,
+                eliminated=eliminated,
+                clause_count=clause_count,
+                positive_clause_count=positive_count,
+            )
+
+        # Residual search space: enumerate models and extract the backbone.
+        enumeration = enumerate_models(cnf, cap=self.solution_cap)
+        if enumeration.unsatisfiable:
+            return ProblemSolution(
+                key=self.key,
+                status=SolutionStatus.UNSATISFIABLE,
+                num_solutions=0,
+                capped=False,
+                observed_ases=observed,
+                clause_count=clause_count,
+                positive_clause_count=positive_count,
+            )
+        if enumeration.unique:
+            model = enumeration.models[0]
+            named = builder.decode(model)
+            censors = frozenset(asn for asn, value in named.items() if value)
+            eliminated = frozenset(
+                asn for asn, value in named.items() if not value
+            )
+            return ProblemSolution(
+                key=self.key,
+                status=SolutionStatus.UNIQUE,
+                num_solutions=1,
+                capped=False,
+                observed_ases=observed,
+                censors=censors,
+                eliminated=eliminated,
+                clause_count=clause_count,
+                positive_clause_count=positive_count,
+            )
+        # Multiple solutions: the backbone gives exact always-True /
+        # always-False sets independent of the enumeration cap.
+        bb = backbone(cnf)
+        always_false_named = frozenset(
+            builder.name_of(var) for var in bb.always_false
+        )
+        always_true_named = frozenset(
+            builder.name_of(var) for var in bb.always_true
+        )
+        potential = frozenset(builder.names) - always_false_named
+        return ProblemSolution(
+            key=self.key,
+            status=SolutionStatus.MULTIPLE,
+            num_solutions=enumeration.count,
+            capped=enumeration.capped,
+            observed_ases=observed,
+            censors=always_true_named,  # certain even among many models
+            potential_censors=potential,
+            eliminated=always_false_named,
+            clause_count=clause_count,
+            positive_clause_count=positive_count,
+        )
+
+
+__all__ = [
+    "SolutionStatus",
+    "ProblemSolution",
+    "TomographyProblem",
+    "ProblemKey",
+    "DEFAULT_SOLUTION_CAP",
+]

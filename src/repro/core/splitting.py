@@ -1,0 +1,73 @@
+"""Time- and URL-based splitting of observations into problems (§3.1).
+
+One tomography problem is built per (URL, anomaly, time window); windows
+come in the paper's four granularities.  Splitting by URL keeps unrelated
+censorship policies out of each other's CNFs, and splitting by time bounds
+the damage a mid-window policy change can do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from repro.anomaly import Anomaly
+from repro.core.observations import Observation
+from repro.util.timeutil import Granularity, TimeWindow, window_of
+
+
+@dataclass(frozen=True)
+class ProblemKey:
+    """Identity of one tomography problem."""
+
+    url: str
+    anomaly: Anomaly
+    granularity: Granularity
+    window: TimeWindow
+
+    def __str__(self) -> str:
+        return (
+            f"{self.url} [{self.anomaly.value}] "
+            f"{self.granularity.value}@{self.window.index}"
+        )
+
+
+def split_observations(
+    observations: Iterable[Observation],
+    granularities: Sequence[Granularity] = Granularity.all(),
+) -> Dict[ProblemKey, List[Observation]]:
+    """Group observations into per-problem lists.
+
+    Every observation lands in one group per granularity (a day observation
+    also belongs to its week, month, and year problems).
+    """
+    groups: Dict[ProblemKey, List[Observation]] = {}
+    for observation in observations:
+        for granularity in granularities:
+            key = ProblemKey(
+                url=observation.url,
+                anomaly=observation.anomaly,
+                granularity=granularity,
+                window=window_of(observation.timestamp, granularity),
+            )
+            groups.setdefault(key, []).append(observation)
+    return groups
+
+
+def interesting_groups(
+    groups: Dict[ProblemKey, List[Observation]],
+) -> Dict[ProblemKey, List[Observation]]:
+    """Only the groups containing at least one detected anomaly.
+
+    Anomaly-free groups are trivially satisfiable with the all-False
+    unique solution; filtering them is an optimization knob for analyses
+    that only care about censored problems.
+    """
+    return {
+        key: observations
+        for key, observations in groups.items()
+        if any(observation.detected for observation in observations)
+    }
+
+
+__all__ = ["ProblemKey", "split_observations", "interesting_groups"]

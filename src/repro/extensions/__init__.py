@@ -1,0 +1,46 @@
+"""The paper's stated future-work extensions (§5), implemented.
+
+The conclusion names two follow-ups for the tomography machinery:
+
+1. *"incorporate data obtained from external performance measurement
+   datasets (e.g., data from M-Lab) to identify ASes responsible for
+   throttling the bandwidth made available to specific protocols used for
+   censorship circumvention"* — :mod:`repro.extensions.throttling` builds
+   an M-Lab-analog throughput measurement stream, a relative-throughput
+   anomaly detector, and feeds the resulting boolean observations into the
+   unchanged :mod:`repro.core` pipeline under :attr:`Anomaly.THROTTLE`.
+
+2. *"identify, at scale, the ASes responsible for blocking access to Tor
+   bridges"* — :mod:`repro.extensions.tor_bridges` simulates bridge
+   reachability probes (TCP connects to unlisted bridge addresses),
+   with censors dropping SYNs to known-bridge addresses, and localizes the
+   droppers through the same pipeline under :attr:`Anomaly.BRIDGE`.
+
+Both extensions demonstrate the paper's claim that the approach "carries
+over to other measurement databases": only the observation source changes;
+clause construction, splitting, solving, and analysis are reused verbatim.
+"""
+
+from repro.extensions.throttling import (
+    ThrottlingCampaignConfig,
+    ThroughputMeasurement,
+    localize_throttlers,
+    run_throttling_campaign,
+)
+from repro.extensions.tor_bridges import (
+    BridgeCampaignConfig,
+    BridgeProbe,
+    localize_bridge_blockers,
+    run_bridge_campaign,
+)
+
+__all__ = [
+    "ThroughputMeasurement",
+    "ThrottlingCampaignConfig",
+    "run_throttling_campaign",
+    "localize_throttlers",
+    "BridgeProbe",
+    "BridgeCampaignConfig",
+    "run_bridge_campaign",
+    "localize_bridge_blockers",
+]

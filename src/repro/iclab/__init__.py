@@ -1,0 +1,32 @@
+"""The ICLab-analog measurement platform.
+
+Reproduces the data-producing side of the paper: globally distributed
+vantage points repeatedly test URLs, record packet captures and three
+traceroutes per test, and run the five anomaly detectors of §2.1.  The
+output is a :class:`~repro.iclab.dataset.Dataset` of
+:class:`~repro.iclab.measurement.Measurement` records — the exact input
+shape the tomography core consumes (§3.1's five record fields).
+
+Measurements carry ground-truth annotations (the true AS path, the ASNs
+that actually injected) strictly for validation; the inference pipeline in
+:mod:`repro.core` never reads them.
+"""
+
+from repro.iclab.dataset import Dataset, DatasetStats
+from repro.iclab.detectors import DetectorConfig, run_detectors
+from repro.iclab.measurement import Measurement
+from repro.iclab.platform import ICLabPlatform, PlatformConfig
+from repro.iclab.vantage import VantageKind, VantagePoint, select_vantage_points
+
+__all__ = [
+    "VantagePoint",
+    "VantageKind",
+    "select_vantage_points",
+    "DetectorConfig",
+    "run_detectors",
+    "Measurement",
+    "Dataset",
+    "DatasetStats",
+    "ICLabPlatform",
+    "PlatformConfig",
+]

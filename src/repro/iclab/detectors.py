@@ -1,0 +1,153 @@
+"""The five anomaly detectors (paper §2.1).
+
+Each detector consumes only what a client-side pcap shows — exactly the
+information ICLab has.  Detector naivety is deliberate where the paper says
+so: the RST detector fires on *any* unexpected server-side reset because
+"differentiating between organic and injected RST packets" is hard, which
+is why the paper finds ~30% of RST CNFs unsolvable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.anomaly import Anomaly
+from repro.censorship.blockpage import BLOCKPAGE_FINGERPRINTS
+from repro.netsim.packets import HttpResponse, PacketCapture
+from repro.netsim.session import DnsSessionResult, HttpSessionResult
+
+
+@dataclass(frozen=True)
+class DetectorConfig:
+    """Detector thresholds."""
+
+    dns_response_window: float = 2.0   # seconds: 2nd answer within => anomaly
+    ttl_delta_threshold: int = 2       # TTL step larger than jitter
+    blockpage_length_ratio: float = 0.30  # Jones-style size dissimilarity
+
+
+def detect_dns_anomaly(
+    capture: PacketCapture, config: DetectorConfig = DetectorConfig()
+) -> bool:
+    """Two DNS responses for one query within the window (DNS injection).
+
+    ICLab reports an anomaly when a second response packet for the same
+    transaction arrives within two seconds of the first.
+    """
+    by_txid: Dict[int, List[float]] = {}
+    for response in capture.dns:
+        by_txid.setdefault(response.txid, []).append(response.time)
+    for times in by_txid.values():
+        if len(times) < 2:
+            continue
+        times.sort()
+        if times[1] - times[0] <= config.dns_response_window:
+            return True
+    return False
+
+
+def detect_ttl_anomaly(
+    capture: PacketCapture, config: DetectorConfig = DetectorConfig()
+) -> bool:
+    """A later packet's TTL inconsistent with the SYNACK's.
+
+    Relies on the paper's assumption that a censor cannot act before the
+    server's SYNACK, so the SYNACK TTL is the trusted reference.
+    """
+    synack = capture.synack()
+    if synack is None:
+        return False
+    for packet in capture.server_packets():
+        if packet is synack or packet.is_synack:
+            continue
+        if abs(packet.ttl - synack.ttl) >= config.ttl_delta_threshold:
+            return True
+    return False
+
+
+def detect_seq_anomaly(capture: PacketCapture) -> bool:
+    """Overlapping sequence ranges or holes in the server byte stream."""
+    synack = capture.synack()
+    intervals: List[Tuple[int, int]] = []
+    for packet in capture.server_packets():
+        if packet.payload_len > 0:
+            intervals.append((packet.seq, packet.seq_end))
+    if not intervals:
+        return False
+    intervals.sort()
+    # Proper overlap: two distinct segments covering shared bytes without
+    # being exact retransmissions.
+    for (a_start, a_end), (b_start, b_end) in zip(intervals, intervals[1:]):
+        identical = (a_start, a_end) == (b_start, b_end)
+        if not identical and b_start < a_end:
+            return True
+    # Holes: coverage must start at the first expected byte and be gapless.
+    expected = synack.seq + 1 if synack is not None else intervals[0][0]
+    covered_to = expected
+    for start, end in intervals:
+        if start > covered_to:
+            return True
+        covered_to = max(covered_to, end)
+    return False
+
+
+def detect_rst_anomaly(capture: PacketCapture) -> bool:
+    """Any server-direction RST.
+
+    Deliberately does not attempt to distinguish organic teardown resets
+    from injected ones — the fidelity limitation the paper reports.
+    """
+    return any(packet.is_rst for packet in capture.server_packets())
+
+
+def detect_blockpage(
+    delivered: Optional[HttpResponse],
+    baseline: HttpResponse,
+    config: DetectorConfig = DetectorConfig(),
+) -> bool:
+    """Fingerprint-corpus match, or size dissimilarity vs. a clean baseline.
+
+    The corpus strategy mirrors OONI regex matching; the size comparison is
+    the Jones et al. technique against a censor-free fetch of the same URL.
+    """
+    if delivered is None:
+        return False
+    if any(fingerprint in delivered.body for fingerprint in BLOCKPAGE_FINGERPRINTS):
+        return True
+    longer = max(delivered.body_length, baseline.body_length)
+    if longer == 0:
+        return False
+    similarity = min(delivered.body_length, baseline.body_length) / longer
+    return similarity < config.blockpage_length_ratio and delivered.status != baseline.status
+
+
+def run_detectors(
+    dns_result: Optional[DnsSessionResult],
+    http_result: HttpSessionResult,
+    baseline: HttpResponse,
+    config: DetectorConfig = DetectorConfig(),
+) -> Dict[Anomaly, bool]:
+    """Run all five detectors over one test's captures."""
+    return {
+        Anomaly.DNS: (
+            detect_dns_anomaly(dns_result.capture, config)
+            if dns_result is not None
+            else False
+        ),
+        Anomaly.TTL: detect_ttl_anomaly(http_result.capture, config),
+        Anomaly.SEQ: detect_seq_anomaly(http_result.capture),
+        Anomaly.RST: detect_rst_anomaly(http_result.capture),
+        Anomaly.BLOCK: detect_blockpage(http_result.delivered_page, baseline, config),
+    }
+
+
+__all__ = [
+    "DetectorConfig",
+    "detect_dns_anomaly",
+    "detect_ttl_anomaly",
+    "detect_seq_anomaly",
+    "detect_rst_anomaly",
+    "detect_blockpage",
+    "run_detectors",
+]

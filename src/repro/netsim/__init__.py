@@ -1,0 +1,45 @@
+"""Packet-level network simulation.
+
+The paper's detectors operate on raw packet captures (double DNS responses,
+TTL steps on the SYNACK vs. later packets, overlapping/gapped TCP sequence
+numbers, RST flags, blockpage bodies).  This package simulates exactly those
+observables: a client-side packet capture of a DNS lookup and of an HTTP
+fetch across an AS path, with on-path middleboxes (the censors) able to
+inspect and inject.
+
+It deliberately models only what the detectors can see from the client —
+per-packet IP TTL, TCP sequence/ack numbers and flags, payload bodies, and
+arrival times — rather than a full stack.  That is the fidelity ICLab has:
+a pcap at the vantage point.
+"""
+
+from repro.netsim.packets import (
+    DnsRecord,
+    DnsResponse,
+    HttpResponse,
+    PacketCapture,
+    TcpFlags,
+    TcpPacket,
+)
+from repro.netsim.path import RouterPath, expand_as_path
+from repro.netsim.session import (
+    DnsSessionResult,
+    HttpSessionResult,
+    simulate_dns_lookup,
+    simulate_http_fetch,
+)
+
+__all__ = [
+    "TcpFlags",
+    "TcpPacket",
+    "DnsRecord",
+    "DnsResponse",
+    "HttpResponse",
+    "PacketCapture",
+    "RouterPath",
+    "expand_as_path",
+    "simulate_dns_lookup",
+    "simulate_http_fetch",
+    "DnsSessionResult",
+    "HttpSessionResult",
+]

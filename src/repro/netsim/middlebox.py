@@ -1,0 +1,153 @@
+"""The on-path middlebox interface and its action vocabulary.
+
+A middlebox lives inside an AS.  When a session's forwarding path crosses
+that AS, the session simulator offers the middlebox each observable event
+(a DNS query, a TCP/HTTP session) and the middlebox answers with an
+*action* — inject a forged DNS response, inject a RST, tamper with sequence
+numbers, serve a blockpage — or ``None`` to let traffic pass.
+
+Actions are declarative: the middlebox never touches packets itself.  The
+session simulator materializes actions into packets with the correct
+timing and TTL arithmetic for the middlebox's position on the path, so
+every censorship technique automatically produces the side-channel
+artefacts (TTL steps, racing responses) that ICLab's detectors key on.
+
+The concrete censor implementations live in :mod:`repro.censorship`; this
+module only defines the contract, keeping the packet simulator free of any
+censorship policy knowledge.
+"""
+
+from __future__ import annotations
+
+import abc
+import enum
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from repro.netsim.path import RouterPath
+from repro.util.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class SessionContext:
+    """Everything a middlebox may inspect about a session.
+
+    ``hop_index`` is the router-hop distance from the client to the
+    middlebox's first router — it determines injection timing and TTLs.
+    """
+
+    domain: str
+    url: str
+    client_asn: int
+    server_asn: int
+    router_path: RouterPath
+    hop_index: int
+    timestamp: int
+    rng: DeterministicRNG
+
+
+class DnsInjectAction(enum.Enum):
+    """How a DNS injector forges its answer."""
+
+    BOGUS_ADDRESS = "bogus"        # point the name at a sinkhole address
+    BLOCKPAGE_ADDRESS = "blockpage"  # point the name at a blockpage server
+
+
+@dataclass(frozen=True)
+class DnsInjection:
+    """Inject a forged DNS response racing the legitimate one."""
+
+    kind: DnsInjectAction
+    forged_address: int
+    injector_asn: int
+
+
+class TcpActionKind(enum.Enum):
+    """The TCP-level censorship techniques the simulator materializes."""
+
+    RST_INJECT = "rst"
+    SEQ_TAMPER = "seq"
+    BLOCKPAGE_INJECT = "block-inject"  # forged HTTP response + RST
+    BLOCKPAGE_PROXY = "block-proxy"    # transparent proxy serves blockpage
+    THROTTLE = "throttle"              # future-work: bandwidth throttling
+
+
+class SeqTamperMode(enum.Enum):
+    """Sequence-number artefact an injected segment creates."""
+
+    OVERLAP = "overlap"  # injected segment overlaps the legitimate stream
+    GAP = "gap"          # injected segment leaves a hole before it
+
+
+@dataclass(frozen=True)
+class TcpAction:
+    """A censorship action on a TCP/HTTP session.
+
+    ``mimic_server_ttl`` crafts the injected packets' TTL so they arrive
+    with the same received-TTL as genuine server packets, defeating the
+    TTL detector (some real censors do this; most do not).
+    ``suppress_server`` models censors that also reset the server side,
+    so no genuine response reaches the client.
+    """
+
+    kind: TcpActionKind
+    injector_asn: int
+    mimic_server_ttl: bool = False
+    suppress_server: bool = False
+    seq_mode: SeqTamperMode = SeqTamperMode.OVERLAP
+    blockpage_html: Optional[str] = None
+    throttle_factor: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.kind in (
+            TcpActionKind.BLOCKPAGE_INJECT,
+            TcpActionKind.BLOCKPAGE_PROXY,
+        ) and not self.blockpage_html:
+            raise ValueError(f"{self.kind.value} action requires blockpage_html")
+        if self.kind is TcpActionKind.THROTTLE and not (
+            0.0 < self.throttle_factor <= 1.0
+        ):
+            raise ValueError("throttle_factor must be in (0, 1]")
+
+
+class Middlebox(abc.ABC):
+    """Base class for on-path middleboxes (censors)."""
+
+    def __init__(self, asn: int) -> None:
+        if asn <= 0:
+            raise ValueError("middlebox ASN must be positive")
+        self.asn = asn
+
+    @abc.abstractmethod
+    def on_dns_query(self, context: SessionContext) -> Optional[DnsInjection]:
+        """React to a DNS query for ``context.domain`` crossing this AS."""
+
+    @abc.abstractmethod
+    def on_tcp_session(self, context: SessionContext) -> Optional[TcpAction]:
+        """React to an HTTP-over-TCP session crossing this AS."""
+
+
+class TransparentMiddlebox(Middlebox):
+    """A middlebox that never interferes; useful as a test double."""
+
+    def on_dns_query(self, context: SessionContext) -> Optional[DnsInjection]:
+        return None
+
+    def on_tcp_session(self, context: SessionContext) -> Optional[TcpAction]:
+        return None
+
+
+OnPathMiddlebox = Tuple[Middlebox, int]  # (middlebox, hop_index on this path)
+
+
+__all__ = [
+    "SessionContext",
+    "Middlebox",
+    "TransparentMiddlebox",
+    "DnsInjection",
+    "DnsInjectAction",
+    "TcpAction",
+    "TcpActionKind",
+    "SeqTamperMode",
+    "OnPathMiddlebox",
+]

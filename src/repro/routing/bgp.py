@@ -1,0 +1,196 @@
+"""Per-destination BGP route computation.
+
+For a destination AS ``d``, every other AS's best route is computed with the
+standard three-phase propagation that realizes Gao-Rexford policies:
+
+1. **Customer routes** spread *upward*: ``d`` announces to its providers,
+   who announce to their providers, and so on.  Every AS reached this way
+   holds a customer route (it is paid to reach ``d``).
+2. **Peer routes** spread *sideways, once*: ASes holding customer routes
+   announce across peer links; a peer that lacks a customer route adopts.
+3. **Provider routes** spread *downward*: any AS with a route announces to
+   its customers, who adopt if they have nothing better; this cascades.
+
+Within a phase, shorter AS paths win and remaining ties fall to
+:func:`~repro.routing.policy.tie_break_rank`, which takes a *salt* — the
+churn engine's lever for flipping decisions.  Links listed in
+``down_links`` are ignored entirely (failed).
+
+The result is a :class:`RoutingTable` mapping each source to its AS path to
+``d``.  Every emitted path is valley-free by construction; tests assert it.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+
+from repro.routing.policy import RouteClass, tie_break_rank
+from repro.topology.graph import ASGraph
+
+ASPath = Tuple[int, ...]
+LinkKey = Tuple[int, int]
+
+
+def _link_key(a: int, b: int) -> LinkKey:
+    return (a, b) if a < b else (b, a)
+
+
+@dataclass(frozen=True)
+class RoutingTable:
+    """Best AS paths from every source to one destination.
+
+    ``paths[src]`` is the AS-level path ``(src, ..., dst)``; sources with no
+    policy-compliant route (partitioned by failures) are absent.
+    """
+
+    destination: int
+    paths: Dict[int, ASPath]
+
+    def path_from(self, src: int) -> Optional[ASPath]:
+        """The path from ``src``, or None if unreachable."""
+        if src == self.destination:
+            return (src,)
+        return self.paths.get(src)
+
+    def __len__(self) -> int:
+        return len(self.paths)
+
+
+class RouteComputer:
+    """Computes and caches routing tables over a fixed AS graph."""
+
+    def __init__(self, graph: ASGraph, cache_size: int = 4096) -> None:
+        self.graph = graph
+        self._cache: Dict[Tuple[int, int, FrozenSet[LinkKey]], RoutingTable] = {}
+        self._cache_size = cache_size
+
+    def routing_table(
+        self,
+        destination: int,
+        salt: int = 0,
+        down_links: Iterable[LinkKey] = (),
+    ) -> RoutingTable:
+        """The routing table toward ``destination`` under the given state.
+
+        ``salt`` perturbs tie-breaks; ``down_links`` is a collection of
+        canonical link keys (lower ASN first) considered failed.
+        """
+        down = frozenset(_link_key(*key) for key in down_links)
+        cache_key = (destination, salt, down)
+        cached = self._cache.get(cache_key)
+        if cached is not None:
+            return cached
+        table = self._compute(destination, salt, down)
+        if len(self._cache) >= self._cache_size:
+            self._cache.clear()  # simple bound; tables are cheap to rebuild
+        self._cache[cache_key] = table
+        return table
+
+    # ------------------------------------------------------------------
+
+    def _up(self, asn: int, down: FrozenSet[LinkKey]) -> Iterable[int]:
+        return (
+            p
+            for p in self.graph.providers_of(asn)
+            if _link_key(asn, p) not in down
+        )
+
+    def _downhill(self, asn: int, down: FrozenSet[LinkKey]) -> Iterable[int]:
+        return (
+            c
+            for c in self.graph.customers_of(asn)
+            if _link_key(asn, c) not in down
+        )
+
+    def _sideways(self, asn: int, down: FrozenSet[LinkKey]) -> Iterable[int]:
+        return (
+            p
+            for p in self.graph.peers_of(asn)
+            if _link_key(asn, p) not in down
+        )
+
+    def _compute(
+        self, destination: int, salt: int, down: FrozenSet[LinkKey]
+    ) -> RoutingTable:
+        if destination not in self.graph.registry:
+            raise KeyError(f"AS{destination} is not in the topology")
+        best_class: Dict[int, RouteClass] = {destination: RouteClass.CUSTOMER}
+        best_path: Dict[int, ASPath] = {destination: (destination,)}
+
+        # Phase 1 — customer routes climb provider edges.  Dijkstra on
+        # (length, tie_rank) so equal-length decisions are salt-stable.
+        frontier: list = [(0, 0, destination)]
+        settled: set = set()
+        while frontier:
+            length, _, asn = heapq.heappop(frontier)
+            if asn in settled:
+                continue
+            settled.add(asn)
+            for provider in self._up(asn, down):
+                if provider in settled:
+                    continue
+                candidate: ASPath = (provider,) + best_path[asn]
+                rank = tie_break_rank(provider, asn, salt)
+                incumbent = best_path.get(provider)
+                if incumbent is None or self._better(
+                    provider, candidate, incumbent, salt
+                ):
+                    best_path[provider] = candidate
+                    best_class[provider] = RouteClass.CUSTOMER
+                    heapq.heappush(frontier, (len(candidate) - 1, rank, provider))
+
+        customer_holders = list(best_path)
+
+        # Phase 2 — one peer hop from any customer-route holder.
+        peer_path: Dict[int, ASPath] = {}
+        for holder in customer_holders:
+            for peer in self._sideways(holder, down):
+                if peer in best_path:
+                    continue  # customer route always beats a peer route
+                candidate = (peer,) + best_path[holder]
+                incumbent = peer_path.get(peer)
+                if incumbent is None or self._better(peer, candidate, incumbent, salt):
+                    peer_path[peer] = candidate
+        for asn, path in peer_path.items():
+            best_path[asn] = path
+            best_class[asn] = RouteClass.PEER
+
+        # Phase 3 — provider routes cascade down customer edges.
+        frontier = [
+            (len(best_path[asn]) - 1, 0, asn) for asn in best_path
+        ]
+        heapq.heapify(frontier)
+        while frontier:
+            length, _, asn = heapq.heappop(frontier)
+            if len(best_path[asn]) - 1 != length:
+                continue  # stale entry
+            for customer in self._downhill(asn, down):
+                if best_class.get(customer) in (RouteClass.CUSTOMER, RouteClass.PEER):
+                    continue  # provider route can't displace those
+                candidate = (customer,) + best_path[asn]
+                incumbent = best_path.get(customer)
+                if incumbent is None or self._better(
+                    customer, candidate, incumbent, salt
+                ):
+                    best_path[customer] = candidate
+                    best_class[customer] = RouteClass.PROVIDER
+                    rank = tie_break_rank(customer, asn, salt)
+                    heapq.heappush(frontier, (len(candidate) - 1, rank, customer))
+
+        best_path.pop(destination, None)
+        return RoutingTable(destination=destination, paths=best_path)
+
+    def _better(
+        self, asn: int, candidate: ASPath, incumbent: ASPath, salt: int
+    ) -> bool:
+        """Whether ``candidate`` beats ``incumbent`` at ``asn`` (same class)."""
+        if len(candidate) != len(incumbent):
+            return len(candidate) < len(incumbent)
+        return tie_break_rank(asn, candidate[1], salt) < tie_break_rank(
+            asn, incumbent[1], salt
+        )
+
+
+__all__ = ["RouteComputer", "RoutingTable", "ASPath", "LinkKey"]

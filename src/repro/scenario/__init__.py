@@ -1,0 +1,22 @@
+"""Scenario construction: one config → a fully wired synthetic world.
+
+A :class:`~repro.scenario.world.World` bundles every substrate — topology,
+prefixes, IP-to-AS history, routing + churn, censors, URL list, vantage
+points, and the measurement platform — built deterministically from a
+single :class:`~repro.scenario.config.ScenarioConfig`.  Presets give the
+scales used by tests (``tiny``), examples (``small``), and benchmarks
+(``paper_shaped``).
+"""
+
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.presets import paper_shaped, small, tiny
+from repro.scenario.world import World, build_world
+
+__all__ = [
+    "ScenarioConfig",
+    "World",
+    "build_world",
+    "tiny",
+    "small",
+    "paper_shaped",
+]

@@ -1,0 +1,84 @@
+"""Scenario presets at three scales.
+
+- ``tiny``          — seconds to run; unit/integration tests.
+- ``small``         — tens of seconds; examples and quick exploration.
+- ``paper_shaped``  — minutes; the benchmark harness.  Mirrors the paper's
+  proportions (vantage points in many countries, hundreds of URLs' worth of
+  density scaled down, a long campaign with day/week/month windows) without
+  its absolute 4.9M-measurement scale.
+"""
+
+from __future__ import annotations
+
+from repro.scenario.config import ScenarioConfig
+from repro.topology.generator import TopologyConfig
+from repro.util.timeutil import DAY
+
+
+def tiny(seed: int = 0) -> ScenarioConfig:
+    """A few countries, one simulated week; for tests."""
+    return ScenarioConfig(
+        seed=seed,
+        duration=7 * DAY,
+        num_urls=6,
+        num_vantage_points=8,
+        censoring_countries=("CN", "IR"),
+        all_technique_countries=("CN",),
+        tests_per_url_per_day=3.0,
+        topology=TopologyConfig(
+            seed=seed,
+            country_codes=("US", "DE", "CN", "IR", "JP", "GB", "NL", "SG"),
+            num_tier1=4,
+            transit_density=1.0,
+            edge_density=2.0,
+        ),
+    )
+
+
+def small(seed: int = 0) -> ScenarioConfig:
+    """A regional world, one simulated month; for examples."""
+    return ScenarioConfig(
+        seed=seed,
+        duration=30 * DAY,
+        num_urls=15,
+        num_vantage_points=20,
+        censoring_countries=("CN", "IR", "PK", "TR", "PL"),
+        all_technique_countries=("CN",),
+        tests_per_url_per_day=4.0,
+        topology=TopologyConfig(
+            seed=seed,
+            country_codes=(
+                "US", "DE", "GB", "NL", "FR", "PL", "RU", "CN", "JP", "KR",
+                "SG", "IN", "PK", "IR", "TR", "AE", "BR", "AU",
+            ),
+            num_tier1=6,
+        ),
+    )
+
+
+def paper_shaped(seed: int = 0, duration_days: int = 120) -> ScenarioConfig:
+    """The benchmark world: all countries, long campaign, dense testing.
+
+    The paper observed 539 vantage ASes × 774 URLs × 1 year ≈ 4.9M
+    measurements; this preset keeps the *ratios* (≈17 tests per URL-day
+    spread over many vantage points; ≈30 censoring countries; a handful of
+    all-technique countries) at roughly 1/20 scale so the full benchmark
+    suite runs in minutes.
+    """
+    return ScenarioConfig(
+        seed=seed,
+        duration=duration_days * DAY,
+        num_urls=40,
+        num_vantage_points=80,
+        censoring_countries=(
+            "CN", "IR", "PK", "TR", "RU", "SA", "AE", "EG", "VN", "TH",
+            "ID", "IN", "PL", "UA", "CY", "GB", "IE", "ES", "SG", "MY",
+            "KR", "BD", "NG", "CO", "MX",
+        ),
+        all_technique_countries=("CN", "CY"),
+        tests_per_url_per_day=8.0,
+        topology=TopologyConfig(seed=seed, num_tier1=10, edge_density=2.5),
+    )
+
+
+__all__ = ["tiny", "small", "paper_shaped"]

@@ -1,0 +1,47 @@
+"""Synthetic AS-level Internet topology.
+
+Substitute for the real Internet topology + CAIDA databases the paper uses
+(see DESIGN.md §2).  Provides:
+
+- :mod:`~repro.topology.countries` — a country/region database,
+- :mod:`~repro.topology.asn` — AS records and a registry,
+- :mod:`~repro.topology.graph` — the AS graph with Gao-Rexford business
+  relationships (customer/provider and peer links),
+- :mod:`~repro.topology.generator` — tiered synthetic topology generation,
+- :mod:`~repro.topology.prefixes` — per-AS IPv4 prefix allocation,
+- :mod:`~repro.topology.ip2as` — a longest-prefix-match IP-to-AS database
+  with historical epochs and deliberate staleness (the paper's conversion
+  failures come from here),
+- :mod:`~repro.topology.classification` — CAIDA-style AS classification
+  (content / enterprise / transit) inferred from the graph.
+"""
+
+from repro.topology.asn import ASRegistry, ASType, AutonomousSystem
+from repro.topology.countries import COUNTRIES, Country, Region, country_by_code
+from repro.topology.generator import TopologyConfig, generate_topology
+from repro.topology.graph import ASGraph, ASLink, Relationship
+from repro.topology.ip2as import IpToAsDatabase, IpToAsEpoch, PrefixTable
+from repro.topology.prefixes import PrefixAllocation, allocate_prefixes
+from repro.topology.classification import classify_as, classify_graph
+
+__all__ = [
+    "AutonomousSystem",
+    "ASType",
+    "ASRegistry",
+    "Country",
+    "Region",
+    "COUNTRIES",
+    "country_by_code",
+    "ASGraph",
+    "ASLink",
+    "Relationship",
+    "TopologyConfig",
+    "generate_topology",
+    "PrefixAllocation",
+    "allocate_prefixes",
+    "PrefixTable",
+    "IpToAsEpoch",
+    "IpToAsDatabase",
+    "classify_as",
+    "classify_graph",
+]

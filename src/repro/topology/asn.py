@@ -1,0 +1,100 @@
+"""Autonomous System records and the AS registry.
+
+Each AS has a number, a human-readable name, a country of operation (used by
+the leakage analysis), and a *role* assigned at generation time.  The role is
+ground truth about how the generator wired the AS; the CAIDA-style
+classifier in :mod:`repro.topology.classification` re-derives a type purely
+from the graph, as the paper does with CAIDA's database.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional
+
+from repro.topology.countries import Country
+
+
+class ASType(enum.Enum):
+    """Structural role of an AS in the synthetic topology."""
+
+    TIER1 = "tier1"          # global transit backbone, settlement-free peers
+    TRANSIT = "transit"      # regional/national transit provider
+    ACCESS = "access"        # eyeball/access network (hosts vantage points)
+    CONTENT = "content"      # content/hosting network (hosts web servers,
+                             # and VPN egress vantage points, per the paper)
+    ENTERPRISE = "enterprise"  # stub enterprise network
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """An Autonomous System in the synthetic world."""
+
+    asn: int
+    name: str
+    country: Country
+    as_type: ASType
+
+    def __post_init__(self) -> None:
+        if self.asn <= 0:
+            raise ValueError(f"ASN must be positive: {self.asn}")
+
+    @property
+    def country_code(self) -> str:
+        """Two-letter code of the country of operation."""
+        return self.country.code
+
+    def __str__(self) -> str:
+        return f"AS{self.asn}"
+
+
+class ASRegistry:
+    """An append-only registry of ASes, addressable by ASN."""
+
+    def __init__(self, ases: Iterable[AutonomousSystem] = ()) -> None:
+        self._by_asn: Dict[int, AutonomousSystem] = {}
+        for as_obj in ases:
+            self.add(as_obj)
+
+    def add(self, as_obj: AutonomousSystem) -> None:
+        """Register an AS; ASNs must be unique."""
+        if as_obj.asn in self._by_asn:
+            raise ValueError(f"duplicate ASN: {as_obj.asn}")
+        self._by_asn[as_obj.asn] = as_obj
+
+    def __getitem__(self, asn: int) -> AutonomousSystem:
+        return self._by_asn[asn]
+
+    def get(self, asn: int) -> Optional[AutonomousSystem]:
+        """The AS with number ``asn``, or None."""
+        return self._by_asn.get(asn)
+
+    def __contains__(self, asn: int) -> bool:
+        return asn in self._by_asn
+
+    def __iter__(self) -> Iterator[AutonomousSystem]:
+        return iter(self._by_asn.values())
+
+    def __len__(self) -> int:
+        return len(self._by_asn)
+
+    @property
+    def asns(self) -> List[int]:
+        """All registered ASNs in registration order."""
+        return list(self._by_asn)
+
+    def of_type(self, as_type: ASType) -> List[AutonomousSystem]:
+        """All ASes with the given generator role."""
+        return [a for a in self if a.as_type == as_type]
+
+    def in_country(self, code: str) -> List[AutonomousSystem]:
+        """All ASes operating in the given country code."""
+        return [a for a in self if a.country.code == code]
+
+    def country_of(self, asn: int) -> str:
+        """Country code of an ASN (raises KeyError if unknown)."""
+        return self._by_asn[asn].country.code
+
+
+__all__ = ["AutonomousSystem", "ASType", "ASRegistry"]

@@ -1,0 +1,107 @@
+"""CAIDA-style AS classification inferred from the graph.
+
+The paper uses CAIDA's AS classification (content / enterprise / transit) to
+check whether path churn differs by destination class (§4, Figure 3
+commentary).  CAIDA derives classes from topology and ground-truth labels;
+we re-derive them from the synthetic graph using the standard signals:
+
+- **transit**: non-trivial customer cone (the AS carries traffic for others),
+- **content**: stub with high peering degree relative to providers,
+- **enterprise**: everything else (stubs that mostly buy transit).
+
+The classifier deliberately ignores the generator's ground-truth
+``as_type`` so that tests can compare inferred vs. true labels, as one would
+validate CAIDA's classifier against ground truth.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+from repro.topology.asn import ASType
+from repro.topology.graph import ASGraph
+
+
+class InferredClass(enum.Enum):
+    """The three CAIDA classes."""
+
+    TRANSIT = "transit"
+    CONTENT = "content"
+    ENTERPRISE = "enterprise"
+
+
+@dataclass(frozen=True)
+class ClassificationThresholds:
+    """Tunable decision thresholds for :func:`classify_as`."""
+
+    transit_cone_size: int = 2      # cone beyond itself => provides transit
+    content_peer_ratio: float = 0.5  # peers / (peers + providers) for content
+
+
+def classify_as(
+    graph: ASGraph,
+    asn: int,
+    thresholds: ClassificationThresholds = ClassificationThresholds(),
+) -> InferredClass:
+    """Classify one AS from graph structure alone.
+
+    >>> # a tier-1 has a large customer cone => transit
+    """
+    cone = graph.customer_cone(asn)
+    if len(cone) >= thresholds.transit_cone_size:
+        return InferredClass.TRANSIT
+    peers = len(graph.peers_of(asn))
+    providers = len(graph.providers_of(asn))
+    total = peers + providers
+    if total and peers / total >= thresholds.content_peer_ratio:
+        return InferredClass.CONTENT
+    # Multihomed stubs with several providers look like content/hosting too.
+    if providers >= 3:
+        return InferredClass.CONTENT
+    return InferredClass.ENTERPRISE
+
+
+def classify_graph(
+    graph: ASGraph,
+    thresholds: ClassificationThresholds = ClassificationThresholds(),
+) -> Dict[int, InferredClass]:
+    """Classify every AS in the graph."""
+    return {
+        as_obj.asn: classify_as(graph, as_obj.asn, thresholds)
+        for as_obj in graph.registry
+    }
+
+
+def agreement_with_ground_truth(graph: ASGraph) -> float:
+    """Fraction of ASes whose inferred class matches their generator role.
+
+    Generator roles map onto CAIDA classes as: TIER1/TRANSIT -> transit,
+    CONTENT -> content, ACCESS/ENTERPRISE -> enterprise.  Access networks
+    have no separate CAIDA class; grouping them with enterprise mirrors how
+    CAIDA's taxonomy folds eyeballs into "enterprise/access".
+    """
+    expected = {
+        ASType.TIER1: InferredClass.TRANSIT,
+        ASType.TRANSIT: InferredClass.TRANSIT,
+        ASType.CONTENT: InferredClass.CONTENT,
+        ASType.ACCESS: InferredClass.ENTERPRISE,
+        ASType.ENTERPRISE: InferredClass.ENTERPRISE,
+    }
+    inferred = classify_graph(graph)
+    matches = sum(
+        1
+        for as_obj in graph.registry
+        if inferred[as_obj.asn] == expected[as_obj.as_type]
+    )
+    return matches / max(1, len(graph.registry))
+
+
+__all__ = [
+    "InferredClass",
+    "ClassificationThresholds",
+    "classify_as",
+    "classify_graph",
+    "agreement_with_ground_truth",
+]

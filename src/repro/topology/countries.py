@@ -1,0 +1,148 @@
+"""Country and region database for the synthetic world.
+
+The paper's leakage analysis (§3.3) is defined in terms of the *country of
+operation* of each AS, and Figure 5 groups leakage by region ("most leakage
+is regional, except China").  We model a fixed set of countries with ISO-like
+codes grouped into geographic regions.  The specific countries are analogs —
+the tomography never depends on which real-world country a code denotes —
+but we keep recognizable codes so benchmark output reads naturally next to
+the paper's tables.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+
+class Region(enum.Enum):
+    """Coarse geographic regions used for Figure 5's flow analysis."""
+
+    NORTH_AMERICA = "North America"
+    SOUTH_AMERICA = "South America"
+    EUROPE = "Europe"
+    EAST_ASIA = "East Asia"
+    SOUTH_ASIA = "South Asia"
+    SOUTHEAST_ASIA = "Southeast Asia"
+    MIDDLE_EAST = "Middle East"
+    AFRICA = "Africa"
+    OCEANIA = "Oceania"
+    EAST_EUROPE = "Eastern Europe"
+
+
+@dataclass(frozen=True)
+class Country:
+    """A country: ISO-like code, display name, region, and relative size.
+
+    ``weight`` steers how many ASes the topology generator places in the
+    country (larger weight, more ASes); it loosely mirrors Internet
+    footprint, not population.
+    """
+
+    code: str
+    name: str
+    region: Region
+    weight: float = 1.0
+
+    def __post_init__(self) -> None:
+        if len(self.code) != 2 or not self.code.isupper():
+            raise ValueError(f"country code must be two uppercase letters: {self.code!r}")
+        if self.weight <= 0:
+            raise ValueError("country weight must be positive")
+
+
+COUNTRIES: Tuple[Country, ...] = (
+    # North America
+    Country("US", "United States", Region.NORTH_AMERICA, 6.0),
+    Country("CA", "Canada", Region.NORTH_AMERICA, 2.0),
+    Country("MX", "Mexico", Region.NORTH_AMERICA, 1.5),
+    # South America
+    Country("BR", "Brazil", Region.SOUTH_AMERICA, 2.5),
+    Country("AR", "Argentina", Region.SOUTH_AMERICA, 1.2),
+    Country("CL", "Chile", Region.SOUTH_AMERICA, 1.0),
+    Country("CO", "Colombia", Region.SOUTH_AMERICA, 1.0),
+    # Europe
+    Country("GB", "United Kingdom", Region.EUROPE, 3.5),
+    Country("DE", "Germany", Region.EUROPE, 3.5),
+    Country("FR", "France", Region.EUROPE, 3.0),
+    Country("NL", "Netherlands", Region.EUROPE, 2.5),
+    Country("SE", "Sweden", Region.EUROPE, 1.8),
+    Country("ES", "Spain", Region.EUROPE, 1.8),
+    Country("IT", "Italy", Region.EUROPE, 1.8),
+    Country("IE", "Ireland", Region.EUROPE, 1.0),
+    Country("CY", "Cyprus", Region.EUROPE, 0.6),
+    Country("CH", "Switzerland", Region.EUROPE, 1.2),
+    # Eastern Europe
+    Country("PL", "Poland", Region.EAST_EUROPE, 1.8),
+    Country("UA", "Ukraine", Region.EAST_EUROPE, 1.5),
+    Country("RU", "Russia", Region.EAST_EUROPE, 2.8),
+    Country("CZ", "Czechia", Region.EAST_EUROPE, 1.0),
+    Country("RO", "Romania", Region.EAST_EUROPE, 1.0),
+    # East Asia
+    Country("CN", "China", Region.EAST_ASIA, 5.0),
+    Country("JP", "Japan", Region.EAST_ASIA, 3.0),
+    Country("KR", "South Korea", Region.EAST_ASIA, 2.0),
+    Country("TW", "Taiwan", Region.EAST_ASIA, 1.2),
+    Country("HK", "Hong Kong", Region.EAST_ASIA, 1.5),
+    # South Asia
+    Country("IN", "India", Region.SOUTH_ASIA, 3.0),
+    Country("PK", "Pakistan", Region.SOUTH_ASIA, 1.2),
+    Country("BD", "Bangladesh", Region.SOUTH_ASIA, 0.8),
+    Country("LK", "Sri Lanka", Region.SOUTH_ASIA, 0.6),
+    # Southeast Asia
+    Country("SG", "Singapore", Region.SOUTHEAST_ASIA, 2.0),
+    Country("ID", "Indonesia", Region.SOUTHEAST_ASIA, 1.5),
+    Country("MY", "Malaysia", Region.SOUTHEAST_ASIA, 1.0),
+    Country("TH", "Thailand", Region.SOUTHEAST_ASIA, 1.0),
+    Country("VN", "Vietnam", Region.SOUTHEAST_ASIA, 1.0),
+    Country("PH", "Philippines", Region.SOUTHEAST_ASIA, 1.0),
+    # Middle East
+    Country("AE", "United Arab Emirates", Region.MIDDLE_EAST, 1.5),
+    Country("TR", "Turkey", Region.MIDDLE_EAST, 1.5),
+    Country("SA", "Saudi Arabia", Region.MIDDLE_EAST, 1.2),
+    Country("IL", "Israel", Region.MIDDLE_EAST, 1.0),
+    Country("IR", "Iran", Region.MIDDLE_EAST, 1.2),
+    Country("EG", "Egypt", Region.MIDDLE_EAST, 1.0),
+    # Africa
+    Country("ZA", "South Africa", Region.AFRICA, 1.2),
+    Country("NG", "Nigeria", Region.AFRICA, 1.0),
+    Country("KE", "Kenya", Region.AFRICA, 0.8),
+    # Oceania
+    Country("AU", "Australia", Region.OCEANIA, 2.0),
+    Country("NZ", "New Zealand", Region.OCEANIA, 0.8),
+)
+
+_BY_CODE: Dict[str, Country] = {country.code: country for country in COUNTRIES}
+
+
+def country_by_code(code: str) -> Country:
+    """Look up a country by its two-letter code.
+
+    >>> country_by_code("CY").name
+    'Cyprus'
+    """
+    try:
+        return _BY_CODE[code]
+    except KeyError:
+        raise KeyError(f"unknown country code: {code!r}") from None
+
+
+def countries_in_region(region: Region) -> List[Country]:
+    """All countries belonging to ``region``."""
+    return [country for country in COUNTRIES if country.region == region]
+
+
+def region_of(code: str) -> Region:
+    """The region of a country code."""
+    return country_by_code(code).region
+
+
+__all__ = [
+    "Country",
+    "Region",
+    "COUNTRIES",
+    "country_by_code",
+    "countries_in_region",
+    "region_of",
+]

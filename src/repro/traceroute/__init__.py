@@ -1,0 +1,24 @@
+"""Traceroute simulation.
+
+Substitute for the scapy-driven traceroutes ICLab records alongside every
+test.  The simulator produces IP hop lists over the router-level path with
+the real tool's failure modes: non-responsive hops (``*``), truncated runs,
+and outright errors — the raw material for the paper's four
+inconclusive-path discard rules (§3.1).
+"""
+
+from repro.traceroute.simulate import (
+    Traceroute,
+    TracerouteHop,
+    TracerouteParams,
+    simulate_traceroute,
+    simulate_traceroute_triplet,
+)
+
+__all__ = [
+    "Traceroute",
+    "TracerouteHop",
+    "TracerouteParams",
+    "simulate_traceroute",
+    "simulate_traceroute_triplet",
+]

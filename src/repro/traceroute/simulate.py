@@ -1,0 +1,124 @@
+"""TTL-limited probing over a router-level path.
+
+A traceroute walks the :class:`~repro.netsim.path.RouterPath` hop by hop.
+Every hop independently fails to answer with ``hop_nonresponse_probability``
+(rate-limited ICMP, MPLS tunnels); a whole run errors out with
+``error_probability`` (probe filtered, raw-socket failure); and a run may be
+truncated when consecutive hops go quiet near the destination (max-TTL
+exhaustion).  RTTs grow with hop distance plus exponential jitter, purely
+for realism of the records.
+
+ICLab launches three traceroutes per test; :func:`simulate_traceroute_triplet`
+reproduces that, optionally letting one of the three observe the *previous*
+path when the test races a route change — the main natural source of the
+paper's discard rule (4), "more than one AS-level path".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from repro.netsim.path import RouterPath
+from repro.util.rng import DeterministicRNG
+
+
+@dataclass(frozen=True)
+class TracerouteParams:
+    """Failure and timing characteristics of the prober."""
+
+    hop_nonresponse_probability: float = 0.03
+    error_probability: float = 0.01
+    truncation_probability: float = 0.005  # run dies mid-path
+    per_hop_rtt: float = 0.004
+    racing_path_probability: float = 0.35  # one run sees the old path when
+    #                                        the pair churned very recently
+
+
+@dataclass(frozen=True)
+class TracerouteHop:
+    """One line of traceroute output: an address or a ``*``."""
+
+    index: int
+    address: Optional[int]  # None == non-responsive ("*")
+    rtt: Optional[float]
+
+    @property
+    def responded(self) -> bool:
+        """Whether the hop answered."""
+        return self.address is not None
+
+
+@dataclass(frozen=True)
+class Traceroute:
+    """One traceroute run."""
+
+    hops: Tuple[TracerouteHop, ...]
+    destination_reached: bool
+    error: bool = False
+
+    @property
+    def responsive_addresses(self) -> List[int]:
+        """Addresses of hops that answered, in order."""
+        return [hop.address for hop in self.hops if hop.address is not None]
+
+    def __len__(self) -> int:
+        return len(self.hops)
+
+
+def simulate_traceroute(
+    router_path: RouterPath,
+    rng: DeterministicRNG,
+    params: TracerouteParams = TracerouteParams(),
+) -> Traceroute:
+    """Run one simulated traceroute over ``router_path``."""
+    if rng.chance(params.error_probability):
+        return Traceroute(hops=(), destination_reached=False, error=True)
+    hops: List[TracerouteHop] = []
+    truncated = False
+    for hop in router_path.hops:
+        if rng.chance(params.truncation_probability):
+            truncated = True
+            break
+        if rng.chance(params.hop_nonresponse_probability):
+            hops.append(TracerouteHop(index=hop.hop_index, address=None, rtt=None))
+            continue
+        rtt = (hop.hop_index + 1) * 2 * params.per_hop_rtt
+        rtt += rng.exponential_jitter(params.per_hop_rtt / 2)
+        hops.append(
+            TracerouteHop(index=hop.hop_index, address=hop.address, rtt=rtt)
+        )
+    reached = not truncated and bool(hops) and hops[-1].responded
+    return Traceroute(hops=tuple(hops), destination_reached=reached)
+
+
+def simulate_traceroute_triplet(
+    router_path: RouterPath,
+    rng: DeterministicRNG,
+    params: TracerouteParams = TracerouteParams(),
+    racing_router_path: Optional[RouterPath] = None,
+) -> List[Traceroute]:
+    """The three traceroutes ICLab records per test.
+
+    When ``racing_router_path`` is given (the pair's previous route, because
+    a route change landed very close to the test), one of the three runs
+    may observe it instead of the current path.
+    """
+    runs: List[Traceroute] = []
+    race_index = -1
+    if racing_router_path is not None and rng.chance(params.racing_path_probability):
+        race_index = rng.randrange(3)
+    for index in range(3):
+        path = racing_router_path if index == race_index else router_path
+        assert path is not None
+        runs.append(simulate_traceroute(path, rng, params))
+    return runs
+
+
+__all__ = [
+    "TracerouteParams",
+    "TracerouteHop",
+    "Traceroute",
+    "simulate_traceroute",
+    "simulate_traceroute_triplet",
+]

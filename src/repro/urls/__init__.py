@@ -1,0 +1,19 @@
+"""URL test lists and categorization.
+
+Stand-in for the paper's 774-URL test list and the McAfee URL
+categorization database: a deterministic generator of plausible URLs across
+the categories the paper mentions (Online Shopping and Classifieds are the
+most-censored; some ASes exclusively censor ad vendors; Cyprus-analog
+censors span many categories).
+"""
+
+from repro.urls.categories import Category, CategoryDatabase
+from repro.urls.testlist import TestUrl, UrlTestList, generate_test_list
+
+__all__ = [
+    "Category",
+    "CategoryDatabase",
+    "TestUrl",
+    "UrlTestList",
+    "generate_test_list",
+]

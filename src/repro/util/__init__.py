@@ -1,0 +1,36 @@
+"""Shared utilities: simulated time, windows, and deterministic randomness.
+
+The simulator runs on an integer clock of *seconds since the start of the
+simulated measurement campaign*.  All time-bucketing used by the tomography
+pipeline (per-day / per-week / per-month / per-year CNF construction) lives
+in :mod:`repro.util.timeutil` so that every module buckets identically.
+"""
+
+from repro.util.rng import DeterministicRNG, derive_seed
+from repro.util.timeutil import (
+    DAY,
+    HOUR,
+    MINUTE,
+    MONTH,
+    WEEK,
+    YEAR,
+    Granularity,
+    TimeWindow,
+    iter_windows,
+    window_of,
+)
+
+__all__ = [
+    "DeterministicRNG",
+    "derive_seed",
+    "MINUTE",
+    "HOUR",
+    "DAY",
+    "WEEK",
+    "MONTH",
+    "YEAR",
+    "Granularity",
+    "TimeWindow",
+    "iter_windows",
+    "window_of",
+]

@@ -1,0 +1,42 @@
+"""Shared fixtures: small deterministic worlds, reused across test modules.
+
+Building a world is the expensive part of integration tests, so the tiny
+world (and its campaign dataset) are session-scoped; tests must not mutate
+them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scenario import build_world, tiny
+from repro.scenario.presets import small
+
+
+@pytest.fixture(scope="session")
+def tiny_world():
+    """A tiny synthetic world (seconds to build)."""
+    return build_world(tiny(seed=7))
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset(tiny_world):
+    """The tiny world's full measurement campaign."""
+    return tiny_world.run_campaign()
+
+@pytest.fixture(scope="session")
+def small_world():
+    """A small world for heavier integration tests."""
+    return build_world(small(seed=3))
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_world):
+    """The small world's full campaign."""
+    return small_world.run_campaign()
+
+
+@pytest.fixture(scope="session")
+def small_result(small_world, small_dataset):
+    """The localization pipeline's output over the small campaign."""
+    return small_world.pipeline().run(small_dataset)

@@ -1,0 +1,250 @@
+"""Tests for the analysis package (churn, solvability, reports, tables)."""
+
+import pytest
+
+from repro.analysis.churn import ChurnStats, churn_from_observations, churn_from_oracle
+from repro.analysis.reports import (
+    flow_matrix_rows,
+    regional_leakage_fraction,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.analysis.solvability import (
+    SolvabilityHistogram,
+    overall_unique_fraction,
+    overall_unsat_fraction,
+    solvability_by_anomaly,
+    solvability_by_granularity,
+)
+from repro.analysis.tables import (
+    format_cdf,
+    format_comparison,
+    format_histogram,
+    format_table,
+)
+from repro.anomaly import Anomaly
+from repro.core.censors import identify_censors
+from repro.core.leakage import LeakageRecord, LeakageReport
+from repro.core.observations import Observation
+from repro.core.problem import ProblemKey, ProblemSolution, SolutionStatus
+from repro.util.timeutil import DAY, Granularity, window_of
+
+
+def obs(path, timestamp, url="http://x.com/"):
+    return Observation(
+        url=url,
+        anomaly=Anomaly.DNS,
+        detected=False,
+        as_path=tuple(path),
+        timestamp=timestamp,
+        measurement_id=0,
+    )
+
+
+def solution(status, num_solutions, anomaly=Anomaly.DNS,
+             granularity=Granularity.DAY, positive=1):
+    return ProblemSolution(
+        key=ProblemKey(
+            url="http://x.com/",
+            anomaly=anomaly,
+            granularity=granularity,
+            window=window_of(0, granularity),
+        ),
+        status=status,
+        num_solutions=num_solutions,
+        capped=False,
+        observed_ases=frozenset({1, 2}),
+        positive_clause_count=positive,
+    )
+
+
+class TestChurnStats:
+    def test_churn_fraction(self):
+        stats = ChurnStats(granularity=Granularity.DAY, samples=[1, 1, 2, 3])
+        assert stats.churn_fraction == 0.5
+
+    def test_histogram_buckets(self):
+        stats = ChurnStats(
+            granularity=Granularity.DAY, samples=[1, 2, 5, 9]
+        )
+        histogram = stats.histogram()
+        assert histogram["1"] == 0.25
+        assert histogram["5+"] == 0.5
+
+    def test_add_validates(self):
+        stats = ChurnStats(granularity=Granularity.DAY)
+        with pytest.raises(ValueError):
+            stats.add(0)
+
+    def test_from_observations(self):
+        observations = [
+            obs([1, 9], 0),
+            obs([1, 2, 9], DAY // 2),     # same day, different path
+            obs([1, 9], DAY + 5),         # next day, single path
+        ]
+        stats = churn_from_observations(
+            observations, granularities=(Granularity.DAY,)
+        )[Granularity.DAY]
+        assert stats.count == 2
+        assert stats.churn_fraction == 0.5
+
+    def test_from_oracle(self, tiny_world):
+        pairs = [
+            (vp.asn, url.dest_asn)
+            for vp in tiny_world.vantage_points[:3]
+            for url in tiny_world.test_list.urls[:3]
+        ]
+        stats = churn_from_oracle(
+            tiny_world.oracle, pairs, horizon=7 * DAY,
+            granularities=(Granularity.DAY, Granularity.WEEK),
+        )
+        assert stats[Granularity.DAY].count >= stats[Granularity.WEEK].count
+
+
+class TestSolvability:
+    SOLUTIONS = [
+        solution(SolutionStatus.UNSATISFIABLE, 0),
+        solution(SolutionStatus.UNIQUE, 1),
+        solution(SolutionStatus.UNIQUE, 1, granularity=Granularity.WEEK),
+        solution(SolutionStatus.MULTIPLE, 7, anomaly=Anomaly.RST),
+        solution(SolutionStatus.UNIQUE, 1, positive=0),  # anomaly-free
+    ]
+
+    def test_histogram_buckets(self):
+        histogram = SolvabilityHistogram(label="x")
+        for s in self.SOLUTIONS:
+            histogram.add(s)
+        assert histogram.fraction("0") == pytest.approx(1 / 5)
+        assert histogram.fraction("1") == pytest.approx(3 / 5)
+        assert histogram.fraction("2+") == pytest.approx(1 / 5)
+        coarse = histogram.coarse()
+        assert sum(coarse.values()) == pytest.approx(1.0)
+
+    def test_fine_buckets(self):
+        histogram = SolvabilityHistogram(label="x")
+        for s in self.SOLUTIONS:
+            histogram.add(s)
+        fine = histogram.fine()
+        assert fine["5+"] == pytest.approx(1 / 5)
+
+    def test_by_granularity_censored_only(self):
+        by_gran = solvability_by_granularity(
+            self.SOLUTIONS, granularities=(Granularity.DAY, Granularity.WEEK)
+        )
+        # censored-only drops the anomaly-free solution
+        assert by_gran[Granularity.DAY].total == 3
+        assert by_gran[Granularity.WEEK].total == 1
+
+    def test_by_anomaly(self):
+        by_anomaly = solvability_by_anomaly(self.SOLUTIONS)
+        assert by_anomaly[Anomaly.RST].total == 1
+        assert by_anomaly[Anomaly.RST].fraction("2+") == 1.0
+
+    def test_overall_fractions(self):
+        assert overall_unique_fraction(self.SOLUTIONS, censored_only=False) == (
+            pytest.approx(3 / 5)
+        )
+        assert overall_unsat_fraction(self.SOLUTIONS, censored_only=False) == (
+            pytest.approx(1 / 5)
+        )
+
+    def test_empty_histogram(self):
+        histogram = SolvabilityHistogram(label="empty")
+        assert histogram.fraction("1") == 0.0
+
+
+class TestReports:
+    def test_table1_rows(self, small_dataset):
+        rows = table1_rows(small_dataset.stats())
+        labels = [label for label, _ in rows]
+        assert "Measurements" in labels
+        assert any("DNS anomalies" in label for label in labels)
+        assert len(rows) == 11
+
+    def test_table2_rows(self):
+        report = identify_censors(
+            [
+                ProblemSolution(
+                    key=ProblemKey(
+                        url="http://x.com/",
+                        anomaly=anomaly,
+                        granularity=Granularity.DAY,
+                        window=window_of(0, Granularity.DAY),
+                    ),
+                    status=SolutionStatus.UNIQUE,
+                    num_solutions=1,
+                    capped=False,
+                    observed_ases=frozenset({1}),
+                    censors=frozenset({1}),
+                    positive_clause_count=1,
+                )
+                for anomaly in Anomaly
+            ],
+            country_by_asn={1: "CN"},
+        )
+        rows = table2_rows(report)
+        assert rows[0][0] == "China"
+        assert rows[0][2] == "All"
+
+    def test_table3_and_flow(self):
+        report = LeakageReport(
+            records={
+                9: LeakageRecord(
+                    censor_asn=9,
+                    censor_country="CN",
+                    victim_asns={1, 2},
+                    victim_countries={"DE", "FR"},
+                )
+            }
+        )
+        rows = table3_rows(report)
+        assert rows[0] == ("AS9", "China", 2, 2)
+        flow = flow_matrix_rows(report)
+        assert ("China", "Germany", 1) in flow
+
+    def test_regional_leakage_fraction(self):
+        report = LeakageReport(
+            records={
+                9: LeakageRecord(
+                    censor_asn=9,
+                    censor_country="PL",
+                    victim_asns={1},
+                    victim_countries={"UA"},  # same region (Eastern Europe)
+                ),
+                8: LeakageRecord(
+                    censor_asn=8,
+                    censor_country="CN",
+                    victim_asns={2},
+                    victim_countries={"DE"},  # cross-region
+                ),
+            }
+        )
+        assert regional_leakage_fraction(report) == pytest.approx(0.5)
+        assert regional_leakage_fraction(report, exclude_countries=("CN",)) == 1.0
+
+    def test_regional_leakage_none_when_empty(self):
+        assert regional_leakage_fraction(LeakageReport()) is None
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "b"], [[1, 22], [333, 4]])
+        lines = text.splitlines()
+        assert len({line.index("|") for line in lines if "|" in line}) == 1
+
+    def test_format_table_title(self):
+        text = format_table(["a"], [[1]], title="T")
+        assert text.startswith("T\n")
+
+    def test_format_histogram(self):
+        text = format_histogram({"0": 0.5, "1": 0.25}, title="H")
+        assert "50.0%" in text and "H" in text
+
+    def test_format_cdf(self):
+        text = format_cdf([(50.0, 0.5)], x_label="pct")
+        assert "pct=" in text
+
+    def test_format_comparison(self):
+        text = format_comparison([("unique", "92%", "88%")])
+        assert "paper" in text and "measured" in text

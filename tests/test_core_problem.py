@@ -1,0 +1,196 @@
+"""Tests for tomography problem construction and solving (§3.1-3.2).
+
+Crafted observation sets verify the three-way classification (0 / 1 / 2+
+solutions), exact censor identification, definite-non-censor elimination,
+and the reduction fraction — cross-checked against brute-force enumeration
+where the instances are small.
+"""
+
+import pytest
+
+from repro.anomaly import Anomaly
+from repro.core.observations import Observation
+from repro.core.problem import (
+    ProblemKey,
+    SolutionStatus,
+    TomographyProblem,
+)
+from repro.util.timeutil import Granularity, window_of
+
+URL = "http://x.com/"
+
+
+def obs(path, detected, timestamp=10, anomaly=Anomaly.DNS):
+    return Observation(
+        url=URL,
+        anomaly=anomaly,
+        detected=detected,
+        as_path=tuple(path),
+        timestamp=timestamp,
+        measurement_id=0,
+    )
+
+
+def key(anomaly=Anomaly.DNS, timestamp=10):
+    return ProblemKey(
+        url=URL,
+        anomaly=anomaly,
+        granularity=Granularity.DAY,
+        window=window_of(timestamp, Granularity.DAY),
+    )
+
+
+def solve(observations):
+    return TomographyProblem(key(), observations).solve()
+
+
+class TestValidation:
+    def test_requires_observations(self):
+        with pytest.raises(ValueError):
+            TomographyProblem(key(), [])
+
+    def test_rejects_wrong_url(self):
+        wrong = Observation(
+            url="http://other.com/",
+            anomaly=Anomaly.DNS,
+            detected=False,
+            as_path=(1,),
+            timestamp=10,
+            measurement_id=0,
+        )
+        with pytest.raises(ValueError):
+            TomographyProblem(key(), [wrong])
+
+    def test_rejects_out_of_window(self):
+        late = obs([1, 2], False, timestamp=10**6)
+        with pytest.raises(ValueError):
+            TomographyProblem(key(), [late])
+
+    def test_empty_path_rejected(self):
+        with pytest.raises(ValueError):
+            obs([], False)
+
+
+class TestClassification:
+    def test_all_clean_is_unique_all_false(self):
+        solution = solve([obs([1, 2, 3], False), obs([1, 4], False)])
+        assert solution.status is SolutionStatus.UNIQUE
+        assert solution.censors == frozenset()
+        assert solution.eliminated == {1, 2, 3, 4}
+        assert not solution.had_anomaly
+
+    def test_exact_identification(self):
+        # censored path (1,2,3); 1 and 2 exonerated by clean paths
+        solution = solve(
+            [
+                obs([1, 2, 3], True),
+                obs([1, 2, 4], False),
+            ]
+        )
+        assert solution.status is SolutionStatus.UNIQUE
+        assert solution.censors == {3}
+        assert 1 in solution.eliminated and 2 in solution.eliminated
+
+    def test_contradiction_is_unsat(self):
+        solution = solve(
+            [
+                obs([1, 2, 3], True),
+                obs([1, 2, 3], False),
+            ]
+        )
+        assert solution.status is SolutionStatus.UNSATISFIABLE
+        assert solution.num_solutions == 0
+
+    def test_underconstrained_is_multiple(self):
+        solution = solve([obs([1, 2, 3], True)])
+        assert solution.status is SolutionStatus.MULTIPLE
+        # 7 satisfying assignments over three free variables
+        assert solution.num_solutions == 7
+        assert solution.potential_censors == {1, 2, 3}
+        assert solution.eliminated == frozenset()
+
+    def test_partial_elimination(self):
+        solution = solve(
+            [
+                obs([1, 2, 3], True),
+                obs([1, 4], False),
+            ]
+        )
+        assert solution.status is SolutionStatus.MULTIPLE
+        assert solution.eliminated == {1, 4}
+        assert solution.potential_censors == {2, 3}
+        # (2), (3), (2,3) => three solutions
+        assert solution.num_solutions == 3
+
+    def test_backbone_certain_censor_in_multiple(self):
+        # clause (2 v 3) with 3 exonerated forces 2; clause (4 v 5) leaves
+        # ambiguity, so the problem is MULTIPLE but 2 is certain.
+        solution = solve(
+            [
+                obs([2, 3], True),
+                obs([3], False),
+                obs([4, 5], True),
+            ]
+        )
+        assert solution.status is SolutionStatus.MULTIPLE
+        assert 2 in solution.censors
+        assert solution.potential_censors >= {2, 4, 5}
+
+    def test_two_censored_paths_intersection_not_forced(self):
+        # (1,2,9) and (3,4,9) both censored: 9 is the plausible common
+        # censor but NOT forced — models exist blaming 2 and 4.
+        solution = solve(
+            [
+                obs([1, 2, 9], True),
+                obs([3, 4, 9], True),
+            ]
+        )
+        assert solution.status is SolutionStatus.MULTIPLE
+        assert 9 in solution.potential_censors
+        assert solution.censors == frozenset()
+
+
+class TestReductionFraction:
+    def test_defined_only_for_multiple(self):
+        unique = solve([obs([1, 2], False)])
+        assert unique.reduction_fraction is None
+        multiple = solve([obs([1, 2, 3], True), obs([1], False)])
+        assert multiple.reduction_fraction == pytest.approx(1 / 3)
+
+    def test_zero_when_nothing_eliminated(self):
+        solution = solve([obs([1, 2, 3], True)])
+        assert solution.reduction_fraction == 0.0
+
+
+class TestDeduplication:
+    def test_identical_measurements_collapse(self):
+        observations = [obs([1, 2, 3], True)] * 50 + [obs([1, 2], False)] * 50
+        problem = TomographyProblem(key(), observations)
+        cnf, _ = problem.build_cnf()
+        # one positive clause + two negative units
+        assert len(cnf.clauses) == 3
+
+    def test_clause_counts_reported(self):
+        solution = solve([obs([1, 2, 3], True), obs([1, 2], False)])
+        assert solution.positive_clause_count == 1
+        assert solution.clause_count == 3
+
+
+class TestSolutionCap:
+    def test_cap_respected(self):
+        # a single positive clause over 6 ASes has 63 models
+        solution = TomographyProblem(
+            key(), [obs([1, 2, 3, 4, 5, 6], True)], solution_cap=10
+        ).solve()
+        assert solution.status is SolutionStatus.MULTIPLE
+        assert solution.num_solutions == 10
+        assert solution.capped
+
+    def test_cap_does_not_affect_elimination(self):
+        # backbone-based elimination is exact regardless of the cap
+        solution = TomographyProblem(
+            key(),
+            [obs([1, 2, 3, 4, 5, 6], True), obs([1, 2], False)],
+            solution_cap=4,
+        ).solve()
+        assert solution.eliminated == {1, 2}

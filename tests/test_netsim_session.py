@@ -1,0 +1,339 @@
+"""Tests for the session simulator: DNS races and HTTP fetches.
+
+These tests build sessions over a hand-crafted router path with a scripted
+middlebox and assert the packet-level artefacts each censorship technique
+must produce — the artefacts the ICLab detectors key on.
+"""
+
+from typing import Optional
+
+import pytest
+
+from repro.censorship.blockpage import render_blockpage
+from repro.netsim.middlebox import (
+    DnsInjectAction,
+    DnsInjection,
+    Middlebox,
+    SeqTamperMode,
+    SessionContext,
+    TcpAction,
+    TcpActionKind,
+    TransparentMiddlebox,
+)
+from repro.netsim.packets import HttpResponse
+from repro.netsim.path import RouterHop, RouterPath
+from repro.netsim.session import (
+    SessionParams,
+    simulate_dns_lookup,
+    simulate_http_fetch,
+)
+from repro.util.rng import DeterministicRNG
+
+
+class ScriptedCensor(Middlebox):
+    """A middlebox that always performs one configured action."""
+
+    def __init__(self, asn: int, tcp_action: Optional[TcpAction] = None,
+                 dns_inject: bool = False):
+        super().__init__(asn)
+        self.tcp_action = tcp_action
+        self.dns_inject = dns_inject
+
+    def on_dns_query(self, context: SessionContext):
+        if self.dns_inject:
+            return DnsInjection(
+                kind=DnsInjectAction.BOGUS_ADDRESS,
+                forged_address=0x0A000001,
+                injector_asn=self.asn,
+            )
+        return None
+
+    def on_tcp_session(self, context: SessionContext):
+        return self.tcp_action
+
+
+def make_router_path(num_hops=8, censor_asn=20, censor_hop=3):
+    hops = []
+    for index in range(num_hops):
+        asn = censor_asn if index == censor_hop else 10 + index
+        hops.append(RouterHop(asn=asn, address=0x10000000 + index, hop_index=index))
+    as_path = tuple(dict.fromkeys(h.asn for h in hops))
+    return RouterPath(as_path=as_path, hops=tuple(hops))
+
+
+ROUTER_PATH = make_router_path()
+PAGE = HttpResponse(status=200, body="<html>" + "x" * 4000 + "</html>")
+
+
+def rng():
+    return DeterministicRNG(42, "session-test")
+
+
+def run_http(action: Optional[TcpAction], params=SessionParams()):
+    middleboxes = []
+    if action is not None:
+        middleboxes.append((ScriptedCensor(20, tcp_action=action), 3))
+    return simulate_http_fetch(
+        domain="example.com",
+        url="http://example.com/",
+        router_path=ROUTER_PATH,
+        middleboxes=middleboxes,
+        server_page=PAGE,
+        rng=rng(),
+        params=params,
+    )
+
+
+class TestDnsLookup:
+    def test_clean_lookup_one_response(self):
+        result = simulate_dns_lookup(
+            "example.com", "http://example.com/", ROUTER_PATH, [],
+            legitimate_address=999, resolver_address=888, rng=rng(),
+        )
+        assert len(result.capture.dns) == 1
+        assert result.resolved_address == 999
+        assert not result.injector_asns
+
+    def test_injection_produces_two_responses_injected_first(self):
+        censor = ScriptedCensor(20, dns_inject=True)
+        result = simulate_dns_lookup(
+            "example.com", "http://example.com/", ROUTER_PATH, [(censor, 3)],
+            legitimate_address=999, resolver_address=888, rng=rng(),
+        )
+        assert len(result.capture.dns) == 2
+        first, second = sorted(result.capture.dns, key=lambda r: r.time)
+        assert first.injected_by == 20
+        assert second.injected_by is None
+        assert result.resolved_address == 0x0A000001  # client trusts first
+        assert result.injector_asns == {20}
+
+    def test_injected_and_legit_share_txid(self):
+        censor = ScriptedCensor(20, dns_inject=True)
+        result = simulate_dns_lookup(
+            "example.com", "http://example.com/", ROUTER_PATH, [(censor, 3)],
+            legitimate_address=999, resolver_address=888, rng=rng(),
+        )
+        txids = {r.txid for r in result.capture.dns}
+        assert len(txids) == 1
+
+    def test_duplicate_noise(self):
+        params = SessionParams(duplicate_dns_probability=1.0)
+        result = simulate_dns_lookup(
+            "example.com", "http://example.com/", ROUTER_PATH, [],
+            legitimate_address=999, resolver_address=888, rng=rng(),
+            params=params,
+        )
+        assert len(result.capture.dns) == 2
+        assert all(r.injected_by is None for r in result.capture.dns)
+
+    def test_transparent_middlebox_never_injects(self):
+        result = simulate_dns_lookup(
+            "example.com", "http://example.com/", ROUTER_PATH,
+            [(TransparentMiddlebox(20), 3)],
+            legitimate_address=999, resolver_address=888, rng=rng(),
+        )
+        assert len(result.capture.dns) == 1
+
+
+class TestCleanHttp:
+    def test_delivers_server_page(self):
+        result = run_http(None)
+        assert result.completed
+        assert result.delivered_page == PAGE
+        assert not result.injector_asns
+
+    def test_synack_present_with_consistent_ttl(self):
+        result = run_http(None)
+        synack = result.capture.synack()
+        assert synack is not None
+        data = [p for p in result.capture.server_packets() if p.payload_len]
+        assert data
+        assert all(p.ttl == synack.ttl for p in data)
+
+    def test_sequence_numbers_contiguous(self):
+        result = run_http(None)
+        data = sorted(
+            (p for p in result.capture.server_packets() if p.payload_len),
+            key=lambda p: p.seq,
+        )
+        for previous, current in zip(data, data[1:]):
+            assert current.seq == previous.seq_end
+
+    def test_no_rst(self):
+        result = run_http(None)
+        assert not any(p.is_rst for p in result.capture.server_packets())
+
+
+class TestRstInjection:
+    def action(self, mimic=False, suppress=False):
+        return TcpAction(
+            kind=TcpActionKind.RST_INJECT,
+            injector_asn=20,
+            mimic_server_ttl=mimic,
+            suppress_server=suppress,
+        )
+
+    def test_rst_present_with_anomalous_ttl(self):
+        result = run_http(self.action())
+        synack = result.capture.synack()
+        rsts = [p for p in result.capture.server_packets() if p.is_rst]
+        assert rsts
+        assert abs(rsts[0].ttl - synack.ttl) >= 2
+
+    def test_mimic_hides_ttl(self):
+        result = run_http(self.action(mimic=True))
+        synack = result.capture.synack()
+        rsts = [p for p in result.capture.server_packets() if p.is_rst]
+        assert rsts[0].ttl == synack.ttl
+
+    def test_rst_arrives_before_server_data(self):
+        result = run_http(self.action())
+        rst = next(p for p in result.capture.server_packets() if p.is_rst)
+        data = [p for p in result.capture.server_packets() if p.payload_len]
+        assert data  # server not suppressed
+        assert rst.time < min(p.time for p in data)
+
+    def test_suppression_removes_server_data(self):
+        result = run_http(self.action(suppress=True))
+        data = [p for p in result.capture.server_packets() if p.payload_len]
+        assert not data
+        assert result.delivered_page is None
+        assert not result.completed
+
+    def test_injector_recorded(self):
+        result = run_http(self.action())
+        assert result.injector_asns == {20}
+
+
+class TestSeqTamper:
+    def test_overlap_mode_collides_with_stream(self):
+        action = TcpAction(
+            kind=TcpActionKind.SEQ_TAMPER,
+            injector_asn=20,
+            seq_mode=SeqTamperMode.OVERLAP,
+        )
+        result = run_http(action)
+        data = [p for p in result.capture.server_packets() if p.payload_len]
+        seqs = [p.seq for p in data]
+        assert len(seqs) != len(set(seqs))  # duplicate starting seq
+
+    def test_gap_mode_leaves_hole_when_server_suppressed(self):
+        action = TcpAction(
+            kind=TcpActionKind.SEQ_TAMPER,
+            injector_asn=20,
+            seq_mode=SeqTamperMode.GAP,
+            suppress_server=True,
+        )
+        result = run_http(action)
+        synack = result.capture.synack()
+        data = [p for p in result.capture.server_packets() if p.payload_len]
+        assert data
+        assert min(p.seq for p in data) > synack.seq + 1
+
+
+class TestBlockpages:
+    def blockpage_action(self, kind, mimic=False, suppress=False):
+        return TcpAction(
+            kind=kind,
+            injector_asn=20,
+            mimic_server_ttl=mimic,
+            suppress_server=suppress,
+            blockpage_html=render_blockpage("gov-filter", "example.com", 20),
+        )
+
+    def test_inject_displaces_page(self):
+        result = run_http(self.blockpage_action(TcpActionKind.BLOCKPAGE_INJECT))
+        assert result.delivered_page is not None
+        assert "GOV-FILTER" in result.delivered_page.body
+
+    def test_inject_ttl_anomalous_and_rst_present(self):
+        result = run_http(self.blockpage_action(TcpActionKind.BLOCKPAGE_INJECT))
+        synack = result.capture.synack()
+        injected = [
+            p
+            for p in result.capture.server_packets()
+            if p.injected_by == 20 and p.payload_len
+        ]
+        assert injected
+        assert abs(injected[0].ttl - synack.ttl) >= 2
+        assert any(p.is_rst for p in result.capture.server_packets())
+
+    def test_proxy_is_ttl_consistent(self):
+        result = run_http(self.blockpage_action(TcpActionKind.BLOCKPAGE_PROXY))
+        synack = result.capture.synack()
+        assert synack.injected_by == 20  # proxy terminated the handshake
+        data = [p for p in result.capture.server_packets() if p.payload_len]
+        assert all(p.ttl == synack.ttl for p in data)
+        assert not any(p.is_rst for p in result.capture.server_packets())
+        assert "GOV-FILTER" in result.delivered_page.body
+
+    def test_proxy_blocks_farther_middleboxes(self):
+        proxy = ScriptedCensor(
+            20, tcp_action=self.blockpage_action(TcpActionKind.BLOCKPAGE_PROXY)
+        )
+        far_rst = ScriptedCensor(
+            15,
+            tcp_action=TcpAction(kind=TcpActionKind.RST_INJECT, injector_asn=15),
+        )
+        result = simulate_http_fetch(
+            domain="example.com",
+            url="http://example.com/",
+            router_path=ROUTER_PATH,
+            middleboxes=[(proxy, 3), (far_rst, 6)],
+            server_page=PAGE,
+            rng=rng(),
+        )
+        assert result.injector_asns == {20}
+        assert not any(p.is_rst for p in result.capture.server_packets())
+
+    def test_blockpage_action_requires_html(self):
+        with pytest.raises(ValueError):
+            TcpAction(kind=TcpActionKind.BLOCKPAGE_INJECT, injector_asn=1)
+
+
+class TestNoise:
+    def test_organic_rst_after_data(self):
+        params = SessionParams(organic_rst_probability=1.0)
+        result = run_http(None, params=params)
+        rsts = [p for p in result.capture.server_packets() if p.is_rst]
+        data = [p for p in result.capture.server_packets() if p.payload_len]
+        assert rsts and data
+        assert rsts[0].time > max(p.time for p in data)
+        assert result.completed  # page still delivered
+
+    def test_ttl_jitter_changes_one_segment(self):
+        params = SessionParams(ttl_jitter_probability=1.0)
+        result = run_http(None, params=params)
+        synack = result.capture.synack()
+        data = [p for p in result.capture.server_packets() if p.payload_len]
+        assert any(p.ttl != synack.ttl for p in data)
+
+    def test_segment_loss_leaves_hole(self):
+        params = SessionParams(segment_loss_probability=0.9)
+        result = run_http(None, params=params)
+        data = sorted(
+            (p for p in result.capture.server_packets() if p.payload_len),
+            key=lambda p: p.seq,
+        )
+        covered = PAGE.body_length
+        received = sum(p.payload_len for p in data)
+        assert received < covered
+
+
+class TestThrottle:
+    def test_throttle_keeps_content_but_stretches_time(self):
+        action = TcpAction(
+            kind=TcpActionKind.THROTTLE, injector_asn=20, throttle_factor=0.1
+        )
+        slow = run_http(action)
+        fast = run_http(None)
+        assert slow.delivered_page == fast.delivered_page
+        slow_last = max(p.time for p in slow.capture.server_packets())
+        fast_last = max(p.time for p in fast.capture.server_packets())
+        assert slow_last > fast_last
+
+    def test_throttle_factor_validated(self):
+        with pytest.raises(ValueError):
+            TcpAction(
+                kind=TcpActionKind.THROTTLE, injector_asn=1, throttle_factor=0.0
+            )

@@ -1,0 +1,128 @@
+"""Tests for repro.sat.simplify."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sat.cnf import CNF, Clause
+from repro.sat.enumerate import count_models
+from repro.sat.simplify import (
+    propagate_units,
+    pure_literals,
+    simplified,
+    subsumed_clauses,
+)
+from repro.sat.solver import Solver
+
+
+def random_cnf_strategy(max_vars=5, max_clauses=8):
+    literal = st.integers(min_value=1, max_value=max_vars).flatmap(
+        lambda v: st.sampled_from([v, -v])
+    )
+    clause = st.lists(literal, min_size=1, max_size=3)
+    return st.lists(clause, min_size=1, max_size=max_clauses).map(
+        lambda cls: CNF(max_vars, [Clause(c) for c in cls])
+    )
+
+
+class TestPropagateUnits:
+    def test_no_units(self):
+        cnf = CNF(2, [Clause([1, 2])])
+        result = propagate_units(cnf)
+        assert not result.conflict
+        assert result.forced == {}
+        assert len(result.residual) == 1
+
+    def test_chain(self):
+        cnf = CNF(3, [Clause([-1]), Clause([1, 2]), Clause([-2, 3])])
+        result = propagate_units(cnf)
+        assert not result.conflict
+        assert result.forced == {1: False, 2: True, 3: True}
+        assert result.decided
+
+    def test_conflict_between_units(self):
+        cnf = CNF(1, [Clause([1]), Clause([-1])])
+        assert propagate_units(cnf).conflict
+
+    def test_conflict_via_emptied_clause(self):
+        cnf = CNF(2, [Clause([-1]), Clause([-2]), Clause([1, 2])])
+        assert propagate_units(cnf).conflict
+
+    def test_empty_clause_is_conflict(self):
+        assert propagate_units(CNF(0, [Clause([])])).conflict
+
+    def test_tautologies_dropped(self):
+        cnf = CNF(1, [Clause([1, -1])])
+        result = propagate_units(cnf)
+        assert not result.conflict
+        assert result.decided
+
+    def test_residual_has_falsified_literals_removed(self):
+        cnf = CNF(3, [Clause([-1]), Clause([1, 2, 3])])
+        result = propagate_units(cnf)
+        assert len(result.residual) == 1
+        assert set(result.residual[0].literals) == {2, 3}
+
+    def test_tomography_shape(self):
+        # negative units from clean paths + a positive clause reducing to
+        # a unit: the censor is forced True
+        cnf = CNF(4, [Clause([-1]), Clause([-2]), Clause([-4]), Clause([1, 2, 3])])
+        result = propagate_units(cnf)
+        assert not result.conflict
+        assert result.forced[3] is True
+
+    @settings(max_examples=200, deadline=None)
+    @given(random_cnf_strategy())
+    def test_propagation_preserves_satisfiability(self, cnf):
+        result = propagate_units(cnf)
+        solver_sat = Solver(cnf).solve().satisfiable
+        if result.conflict:
+            assert not solver_sat
+        else:
+            # Apply forced values as assumptions: must stay satisfiable
+            # exactly when the formula is.
+            assumptions = [
+                (v if value else -v) for v, value in result.forced.items()
+            ]
+            assert Solver(cnf).solve(assumptions=assumptions).satisfiable == solver_sat
+
+
+class TestPureLiterals:
+    def test_detects_pure(self):
+        cnf = CNF(2, [Clause([1, 2]), Clause([1, -2])])
+        assert pure_literals(cnf) == {1}
+
+    def test_no_pure(self):
+        cnf = CNF(1, [Clause([1]), Clause([-1])])
+        assert pure_literals(cnf) == set()
+
+    def test_all_pure(self):
+        cnf = CNF(2, [Clause([1]), Clause([-2])])
+        assert pure_literals(cnf) == {1, -2}
+
+
+class TestSubsumption:
+    def test_subset_subsumes(self):
+        cnf = CNF(3, [Clause([1]), Clause([1, 2]), Clause([1, 2, 3])])
+        redundant = subsumed_clauses(cnf)
+        assert redundant == {1, 2}
+
+    def test_equal_clauses_keep_one(self):
+        cnf = CNF(2, [Clause([1, 2]), Clause([2, 1])])
+        assert len(subsumed_clauses(cnf)) == 1
+
+    def test_no_subsumption(self):
+        cnf = CNF(3, [Clause([1, 2]), Clause([2, 3])])
+        assert subsumed_clauses(cnf) == set()
+
+    @settings(max_examples=150, deadline=None)
+    @given(random_cnf_strategy())
+    def test_simplified_preserves_model_count(self, cnf):
+        slim = simplified(cnf)
+        # Project both counts onto the original variable set: dropping a
+        # subsumed clause may remove a variable from the formula entirely,
+        # but the models over the original variables are unchanged.
+        variables = sorted(cnf.variables())
+        assert count_models(slim, cap=64, variables=variables) == count_models(
+            cnf, cap=64, variables=variables
+        )
+        assert len(slim) <= len(cnf)

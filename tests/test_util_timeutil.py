@@ -1,0 +1,130 @@
+"""Tests for repro.util.timeutil."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.timeutil import (
+    DAY,
+    MONTH,
+    WEEK,
+    YEAR,
+    Granularity,
+    TimeWindow,
+    iter_windows,
+    window_of,
+)
+
+
+class TestConstants:
+    def test_day_is_86400(self):
+        assert DAY == 86400
+
+    def test_week_is_seven_days(self):
+        assert WEEK == 7 * DAY
+
+    def test_month_is_thirty_days(self):
+        assert MONTH == 30 * DAY
+
+    def test_year_is_365_days(self):
+        assert YEAR == 365 * DAY
+
+
+class TestGranularity:
+    def test_all_granularities_finest_first(self):
+        assert Granularity.all() == (
+            Granularity.DAY,
+            Granularity.WEEK,
+            Granularity.MONTH,
+            Granularity.YEAR,
+        )
+
+    def test_seconds_property(self):
+        assert Granularity.DAY.seconds == DAY
+        assert Granularity.YEAR.seconds == YEAR
+
+    def test_seconds_strictly_increasing(self):
+        sizes = [g.seconds for g in Granularity.all()]
+        assert sizes == sorted(sizes)
+        assert len(set(sizes)) == len(sizes)
+
+
+class TestTimeWindow:
+    def test_length(self):
+        assert TimeWindow(0, DAY).length == DAY
+
+    def test_contains_half_open(self):
+        window = TimeWindow(0, 100)
+        assert window.contains(0)
+        assert window.contains(99)
+        assert not window.contains(100)
+        assert not window.contains(-1)
+
+    def test_empty_window_rejected(self):
+        with pytest.raises(ValueError):
+            TimeWindow(10, 10)
+        with pytest.raises(ValueError):
+            TimeWindow(10, 5)
+
+    def test_index(self):
+        assert TimeWindow(0, DAY).index == 0
+        assert TimeWindow(3 * DAY, 4 * DAY).index == 3
+
+    def test_ordering(self):
+        assert TimeWindow(0, DAY) < TimeWindow(DAY, 2 * DAY)
+
+
+class TestWindowOf:
+    def test_start_of_time(self):
+        assert window_of(0, Granularity.DAY) == TimeWindow(0, DAY)
+
+    def test_mid_window(self):
+        assert window_of(DAY + 5, Granularity.DAY) == TimeWindow(DAY, 2 * DAY)
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            window_of(-1, Granularity.DAY)
+
+    @given(st.integers(min_value=0, max_value=10 * YEAR), st.sampled_from(list(Granularity)))
+    def test_window_contains_its_timestamp(self, timestamp, granularity):
+        window = window_of(timestamp, granularity)
+        assert window.contains(timestamp)
+
+    @given(st.integers(min_value=0, max_value=10 * YEAR), st.sampled_from(list(Granularity)))
+    def test_window_is_aligned(self, timestamp, granularity):
+        window = window_of(timestamp, granularity)
+        assert window.start % granularity.seconds == 0
+        assert window.length == granularity.seconds
+
+    @given(
+        st.integers(min_value=0, max_value=YEAR),
+        st.integers(min_value=0, max_value=YEAR),
+        st.sampled_from(list(Granularity)),
+    )
+    def test_same_window_iff_same_bucket(self, a, b, granularity):
+        size = granularity.seconds
+        same_bucket = (a // size) == (b // size)
+        assert (window_of(a, granularity) == window_of(b, granularity)) == same_bucket
+
+
+class TestIterWindows:
+    def test_covers_range(self):
+        windows = list(iter_windows(0, 3 * DAY, Granularity.DAY))
+        assert [w.start for w in windows] == [0, DAY, 2 * DAY]
+
+    def test_partial_last_window_included(self):
+        windows = list(iter_windows(0, DAY + 1, Granularity.DAY))
+        assert len(windows) == 2
+
+    def test_empty_range(self):
+        assert list(iter_windows(5, 5, Granularity.DAY)) == []
+        assert list(iter_windows(10, 5, Granularity.DAY)) == []
+
+    def test_unaligned_start(self):
+        windows = list(iter_windows(DAY // 2, DAY, Granularity.DAY))
+        assert windows[0].start == 0
+
+    def test_windows_are_consecutive(self):
+        windows = list(iter_windows(0, 30 * DAY, Granularity.WEEK))
+        for previous, current in zip(windows, windows[1:]):
+            assert current.start == previous.end
