@@ -1,0 +1,22 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test sweep-smoke bench clean
+
+test:
+	$(PYTHON) -m pytest -x -q
+
+# The CI smoke sweep: 2 jobs over 2 workers, then prove the cache works.
+sweep-smoke:
+	$(PYTHON) -m repro.runner --store .sweep-smoke sweep --name smoke \
+	    --preset tiny --num-seeds 2 --duration-days 3 --num-urls 4 \
+	    --num-vantage-points 5 --workers 2
+	$(PYTHON) -m repro.runner --store .sweep-smoke report --name smoke
+
+# bench_*.py does not match pytest's default file pattern; list the files.
+bench:
+	$(PYTHON) -m pytest benchmarks/bench_*.py -q
+
+clean:
+	rm -rf .sweep-smoke .repro-results .pytest_cache build *.egg-info
+	find . -name __pycache__ -type d -prune -exec rm -rf {} +

@@ -1,0 +1,56 @@
+"""Sweep-runner scaling: parallel workers vs. the serial fallback.
+
+Times the same 8-job grid (4 seeds × with/without churn on the tiny
+preset) executed serially and over 4 worker processes, and prints the
+wall-clock speedup plus the cache-hit fast path.  World construction and
+the pipeline dominate each job, so the grid parallelizes near-linearly
+until the per-job cost is dwarfed by process startup.
+"""
+
+import time
+
+from repro.runner import ResultStore, SweepSpec, run_sweep
+
+GRID = SweepSpec(
+    name="bench-sweep",
+    preset="tiny",
+    master_seed=3,
+    num_seeds=4,
+    churn_modes=("with", "without"),
+    duration_days=5,
+)
+
+
+def test_parallel_sweep_speedup(benchmark, tmp_path):
+    jobs = GRID.expand()
+    assert len(jobs) == 8
+
+    serial_started = time.perf_counter()
+    serial = run_sweep(jobs, store=None, workers=1)
+    serial_elapsed = time.perf_counter() - serial_started
+    assert serial.failures == 0
+
+    store = ResultStore(tmp_path)
+    parallel_started = time.perf_counter()
+    parallel = benchmark.pedantic(
+        run_sweep,
+        args=(jobs,),
+        kwargs={"store": store, "workers": 4},
+        rounds=1,
+        iterations=1,
+    )
+    parallel_elapsed = time.perf_counter() - parallel_started
+    assert parallel.failures == 0
+
+    cached_started = time.perf_counter()
+    cached = run_sweep(jobs, store=store, workers=4)
+    cached_elapsed = time.perf_counter() - cached_started
+    assert cached.cache_hits == len(jobs)
+
+    print()
+    print(f"8-job grid   serial: {serial_elapsed:6.2f}s")
+    print(
+        f"8-job grid  4 workers: {parallel_elapsed:6.2f}s "
+        f"({serial_elapsed / parallel_elapsed:.1f}x)"
+    )
+    print(f"8-job grid  cache hit: {cached_elapsed:6.3f}s")

@@ -1,11 +1,15 @@
 #!/usr/bin/env python3
 """Churn ablation: what does path instability buy the tomography?
 
-Reproduces the paper's Figure-4 experiment interactively: run the same
-localization twice — once on all measurements, once keeping only each
-pair's *first observed distinct path* — and compare CNF solvability and
-censor identification.  Also prints the Figure-3 churn profile of the
-world so the two can be read together.
+Reproduces the paper's Figure-4 experiment as a two-job sweep: the same
+scenario seed run with and without churn (the runner's ``churn`` axis
+applies the first-observed-distinct-path filter), compared on CNF
+solvability and censor identification.  Also prints the Figure-3 churn
+profile of the world so the two can be read together.
+
+The grid is declared once as a :class:`repro.runner.SweepSpec` — the same
+spec the ``repro-runner`` CLI takes — and run in-process, so this example
+is also the smallest template for scripting your own ablation sweeps.
 
 Run with:  python examples/churn_ablation.py [seed]
 """
@@ -18,13 +22,12 @@ from repro.analysis.solvability import SolvabilityHistogram
 from repro.analysis.tables import format_histogram, format_table
 from repro.anomaly import Anomaly
 from repro.core.observations import build_observations
-from repro.core.pipeline import PipelineConfig
-from repro.iclab.platform import PlatformConfig
-from repro.scenario import build_world, small
-from repro.util.timeutil import DAY, Granularity
+from repro.core.pipeline import PipelineResult
+from repro.runner import SweepSpec, run_job
+from repro.util.timeutil import Granularity
 
 
-def censored_histogram(result, label):
+def censored_histogram(result: PipelineResult, label: str) -> SolvabilityHistogram:
     histogram = SolvabilityHistogram(label=label)
     for solution in result.solutions:
         if solution.had_anomaly:
@@ -34,20 +37,32 @@ def censored_histogram(result, label):
 
 def main() -> None:
     seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
-    config = small(seed=seed)
-    # Switch to sweep scheduling so intra-day churn is observable.
-    config = dataclasses.replace(
-        config,
-        platform=PlatformConfig(
-            seed=seed,
-            start=0,
-            end=config.duration,
-            schedule="sweep",
-            sweeps_per_pair_per_day=2.0,
-        ),
+
+    # One declarative grid: the same world with and without churn, on
+    # sweep scheduling so intra-day churn is observable at all.
+    spec = SweepSpec(
+        name="churn-ablation",
+        preset="small",
+        master_seed=seed,
+        num_seeds=1,
+        churn_modes=("with", "without"),
+        schedule="sweep",
+        sweeps_per_pair_per_day=2.0,
     )
-    world = build_world(config)
-    dataset = world.run_campaign()
+    # Pin the scenario seed to the CLI argument (a SweepSpec derives its
+    # own seeds from the master seed) so the world here stays comparable
+    # with quickstart.py and leakage_study.py at the same seed.
+    jobs = [dataclasses.replace(job, seed=seed) for job in spec.expand()]
+    with_job, without_job = jobs
+    print(f"sweep {spec.name!r}: {len(jobs)} jobs, scenario seed {with_job.seed}")
+
+    # Both jobs share a scenario seed, so build the world and run the
+    # campaign once; the ablation itself is a pipeline-side filter.
+    with_outcome = run_job(with_job)
+    world, dataset = with_outcome.world, with_outcome.dataset
+    without_churn = world.pipeline(
+        without_job.pipeline_config()
+    ).run_without_churn(dataset)
     print(f"{len(dataset):,} measurements")
 
     observations, discards = build_observations(
@@ -66,14 +81,8 @@ def main() -> None:
     ]
     print(format_table(["window", "samples", "pairs with 2+ paths"], rows))
 
-    pipeline = world.pipeline(
-        PipelineConfig(
-            granularities=(Granularity.DAY, Granularity.WEEK, Granularity.MONTH)
-        )
-    )
     print("\n== Figure 4: solvability with and without churn ==")
-    with_churn = pipeline.run(dataset)
-    without_churn = pipeline.run_without_churn(dataset)
+    with_churn = with_outcome.result
 
     baseline = censored_histogram(with_churn, "with churn")
     ablated = censored_histogram(without_churn, "no churn")

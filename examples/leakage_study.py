@@ -16,14 +16,13 @@ import sys
 
 from repro.analysis.reports import flow_matrix_rows, regional_leakage_fraction
 from repro.analysis.tables import format_table
-from repro.scenario import build_world, small
+from repro.runner import JobSpec, run_job
 
 
 def main() -> None:
     seed = int(sys.argv[1]) if len(sys.argv) > 1 else 1
-    world = build_world(small(seed=seed))
-    dataset = world.run_campaign()
-    result = world.pipeline().run(dataset)
+    outcome = run_job(JobSpec(preset="small", seed=seed))
+    world, result = outcome.world, outcome.result
     leakage = result.leakage_report
 
     print("== censor inventory (ground truth) ==")

@@ -1,12 +1,12 @@
 #!/usr/bin/env python3
-"""Quickstart: build a world, run a campaign, localize the censors.
+"""Quickstart: one declarative job, end to end.
 
-This is the smallest end-to-end use of the library:
-
-1. build a synthetic Internet with censors from a preset config,
-2. run the ICLab-style measurement campaign,
-3. feed the measurements to the boolean-tomography pipeline,
-4. print what was found — and check it against the hidden ground truth.
+This is the smallest use of the library: describe a run as a
+:class:`repro.runner.JobSpec` (scenario preset + seed + pipeline knobs)
+and let the runner build the world, run the ICLab-style measurement
+campaign, and localize the censors.  The returned outcome keeps every
+artifact live — the world (with its hidden ground truth), the dataset,
+and the pipeline result — for drilling in.
 
 Run with:  python examples/quickstart.py [seed]
 """
@@ -15,14 +15,17 @@ import sys
 
 from repro.analysis.tables import format_table
 from repro.core.problem import SolutionStatus
-from repro.scenario import build_world, small
+from repro.runner import JobSpec, run_job, summarize_result
 
 
 def main() -> None:
     seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
 
-    print("== building world ==")
-    world = build_world(small(seed=seed))
+    job = JobSpec(preset="small", seed=seed)
+    print(f"== running job {job.label} (id {job.job_id}) ==")
+    outcome = run_job(job)
+    world, dataset, result = outcome.world, outcome.dataset, outcome.result
+
     print(
         f"topology: {len(world.graph)} ASes, {world.graph.num_links} links, "
         f"{len(world.vantage_points)} vantage points, "
@@ -31,14 +34,10 @@ def main() -> None:
     print(f"hidden censors: {len(world.deployment.censor_asns)} ASes in "
           f"{sorted(world.deployment.censoring_countries)}")
 
-    print("\n== running measurement campaign ==")
-    dataset = world.run_campaign()
     stats = dataset.stats()
-    print(f"{stats.measurements:,} measurements, "
+    print(f"\n{stats.measurements:,} measurements, "
           f"{stats.total_anomalies:,} anomalies detected")
 
-    print("\n== localizing censors (boolean network tomography) ==")
-    result = world.pipeline().run(dataset)
     statuses = result.by_status()
     print(
         f"CNFs solved: {statuses[SolutionStatus.UNIQUE]} unique, "
@@ -62,6 +61,20 @@ def main() -> None:
             rows,
             title="Exactly identified censoring ASes",
         )
+    )
+
+    summary = summarize_result(result, sorted(world.deployment.censor_asns))
+    precision = (
+        f"{summary['precision']:.1%}"
+        if summary["precision"] is not None
+        else "n/a (nothing identified)"
+    )
+    recall = (
+        f"{summary['recall']:.1%}" if summary["recall"] is not None else "n/a"
+    )
+    print(
+        f"\ncensor recovery vs ground truth: precision {precision}, "
+        f"recall {recall}"
     )
 
     if result.reduction_stats.count:

@@ -1,5 +1,25 @@
-"""Setup shim for environments without PEP 660 editable-wheel support."""
+"""Packaging for the CoNExT'17 censorship-localization reproduction.
 
-from setuptools import setup
+Kept as a plain ``setup.py`` (no pyproject build isolation) so
+``pip install -e .`` works in minimal environments without PEP 660
+editable-wheel support.  The library is pure stdlib Python.
+"""
 
-setup()
+from setuptools import find_packages, setup
+
+setup(
+    name="repro-churn-tomography",
+    version="1.0.0",
+    description=(
+        "Reproduction of 'A Churn for the Better: Localizing Censorship "
+        "using Network-level Path Churn and Network Tomography' (CoNExT 2017)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    python_requires=">=3.8",
+    entry_points={
+        "console_scripts": [
+            "repro-runner=repro.runner.cli:main",
+        ],
+    },
+)

@@ -28,6 +28,7 @@ from repro import (
     iclab,
     netsim,
     routing,
+    runner,
     sat,
     scenario,
     topology,
@@ -47,6 +48,7 @@ __all__ = [
     "iclab",
     "netsim",
     "routing",
+    "runner",
     "sat",
     "scenario",
     "topology",

@@ -13,11 +13,12 @@ the first observed distinct path per pair) before problem construction.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.anomaly import Anomaly
-from repro.core.censors import CensorReport, identify_censors
-from repro.core.leakage import LeakageReport, identify_leakage
+from repro.core.censors import CensorFinding, CensorReport, identify_censors
+from repro.core.leakage import LeakageRecord, LeakageReport, identify_leakage
+from repro.core.aspath import InconclusiveReason
 from repro.core.observations import (
     DiscardStats,
     Observation,
@@ -34,7 +35,7 @@ from repro.core.reduction import ReductionStats, reduction_of
 from repro.core.splitting import ProblemKey, split_observations
 from repro.iclab.dataset import Dataset
 from repro.topology.ip2as import IpToAsDatabase
-from repro.util.timeutil import Granularity
+from repro.util.timeutil import Granularity, TimeWindow
 
 
 @dataclass(frozen=True)
@@ -95,6 +96,233 @@ class PipelineResult:
         """Distinct exactly-identified censoring ASNs."""
         return self.censor_report.censor_asns
 
+    # -- serialization ---------------------------------------------------
+
+    def to_dict(self, include_observations: bool = False) -> Dict[str, Any]:
+        """A JSON-compatible dict with deterministic ordering.
+
+        Collections are sorted so that two equal results serialize to
+        identical bytes regardless of construction order — the property
+        the runner's content-addressed store relies on.  Observations are
+        the bulk of the payload and are rebuildable from the scenario
+        seed, so they are excluded unless ``include_observations``.
+        """
+        payload: Dict[str, Any] = {
+            "solutions": [
+                _solution_to_dict(solution)
+                for solution in sorted(
+                    self.solutions, key=lambda s: _key_sort_key(s.key)
+                )
+            ],
+            "discard_stats": {
+                "total": self.discard_stats.total,
+                "converted": self.discard_stats.converted,
+                "discarded_by_reason": {
+                    reason.value: count
+                    for reason, count in sorted(
+                        self.discard_stats.discarded_by_reason.items(),
+                        key=lambda item: item[0].value,
+                    )
+                },
+            },
+            "censor_report": {
+                "country_by_asn": {
+                    str(asn): country
+                    for asn, country in sorted(
+                        self.censor_report.country_by_asn.items()
+                    )
+                },
+                "findings": [
+                    {
+                        "asn": finding.asn,
+                        "anomaly": finding.anomaly.value,
+                        "urls": sorted(finding.urls),
+                        "granularities": sorted(
+                            g.value for g in finding.granularities
+                        ),
+                        "problem_count": finding.problem_count,
+                    }
+                    for (asn, anomaly), finding in sorted(
+                        self.censor_report.findings.items(),
+                        key=lambda item: (item[0][0], item[0][1].value),
+                    )
+                ],
+            },
+            "leakage_report": [
+                {
+                    "censor_asn": record.censor_asn,
+                    "censor_country": record.censor_country,
+                    "victim_asns": sorted(record.victim_asns),
+                    "victim_countries": sorted(record.victim_countries),
+                }
+                for _, record in sorted(self.leakage_report.records.items())
+            ],
+            "reduction_stats": {
+                "fractions": list(self.reduction_stats.fractions),
+                "no_elimination_fraction": (
+                    self.reduction_stats.no_elimination_fraction
+                ),
+            },
+        }
+        if include_observations:
+            payload["observations"] = [
+                {
+                    "key": _problem_key_to_dict(key),
+                    "observations": [
+                        _observation_to_dict(observation)
+                        for observation in group
+                    ],
+                }
+                for key, group in sorted(
+                    self.observations_by_key.items(),
+                    key=lambda item: _key_sort_key(item[0]),
+                )
+            ]
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "PipelineResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        ``observations_by_key`` is empty unless the payload was produced
+        with ``include_observations=True``.
+        """
+        discard = DiscardStats(
+            total=payload["discard_stats"]["total"],
+            converted=payload["discard_stats"]["converted"],
+            discarded_by_reason={
+                InconclusiveReason(reason): count
+                for reason, count in payload["discard_stats"][
+                    "discarded_by_reason"
+                ].items()
+            },
+        )
+        censor_report = CensorReport(
+            country_by_asn={
+                int(asn): country
+                for asn, country in payload["censor_report"][
+                    "country_by_asn"
+                ].items()
+            }
+        )
+        for entry in payload["censor_report"]["findings"]:
+            anomaly = Anomaly(entry["anomaly"])
+            censor_report.findings[(entry["asn"], anomaly)] = CensorFinding(
+                asn=entry["asn"],
+                anomaly=anomaly,
+                urls=set(entry["urls"]),
+                granularities={
+                    Granularity(g) for g in entry["granularities"]
+                },
+                problem_count=entry["problem_count"],
+            )
+        leakage_report = LeakageReport(
+            records={
+                entry["censor_asn"]: LeakageRecord(
+                    censor_asn=entry["censor_asn"],
+                    censor_country=entry["censor_country"],
+                    victim_asns=set(entry["victim_asns"]),
+                    victim_countries=set(entry["victim_countries"]),
+                )
+                for entry in payload["leakage_report"]
+            }
+        )
+        reduction = ReductionStats(
+            fractions=tuple(payload["reduction_stats"]["fractions"]),
+            no_elimination_fraction=payload["reduction_stats"][
+                "no_elimination_fraction"
+            ],
+        )
+        observations_by_key: Dict[ProblemKey, List[Observation]] = {}
+        for entry in payload.get("observations", []):
+            key = _problem_key_from_dict(entry["key"])
+            observations_by_key[key] = [
+                Observation(
+                    url=o["url"],
+                    anomaly=Anomaly(o["anomaly"]),
+                    detected=o["detected"],
+                    as_path=tuple(o["as_path"]),
+                    timestamp=o["timestamp"],
+                    measurement_id=o["measurement_id"],
+                )
+                for o in entry["observations"]
+            ]
+        return cls(
+            solutions=[
+                _solution_from_dict(entry) for entry in payload["solutions"]
+            ],
+            observations_by_key=observations_by_key,
+            discard_stats=discard,
+            censor_report=censor_report,
+            leakage_report=leakage_report,
+            reduction_stats=reduction,
+        )
+
+
+def _key_sort_key(key: ProblemKey) -> Tuple[str, str, str, int]:
+    return (key.url, key.anomaly.value, key.granularity.value, key.window.start)
+
+
+def _problem_key_to_dict(key: ProblemKey) -> Dict[str, Any]:
+    return {
+        "url": key.url,
+        "anomaly": key.anomaly.value,
+        "granularity": key.granularity.value,
+        "window": {"start": key.window.start, "end": key.window.end},
+    }
+
+
+def _problem_key_from_dict(payload: Dict[str, Any]) -> ProblemKey:
+    return ProblemKey(
+        url=payload["url"],
+        anomaly=Anomaly(payload["anomaly"]),
+        granularity=Granularity(payload["granularity"]),
+        window=TimeWindow(
+            start=payload["window"]["start"], end=payload["window"]["end"]
+        ),
+    )
+
+
+def _observation_to_dict(observation: Observation) -> Dict[str, Any]:
+    return {
+        "url": observation.url,
+        "anomaly": observation.anomaly.value,
+        "detected": observation.detected,
+        "as_path": list(observation.as_path),
+        "timestamp": observation.timestamp,
+        "measurement_id": observation.measurement_id,
+    }
+
+
+def _solution_to_dict(solution: ProblemSolution) -> Dict[str, Any]:
+    return {
+        "key": _problem_key_to_dict(solution.key),
+        "status": solution.status.value,
+        "num_solutions": solution.num_solutions,
+        "capped": solution.capped,
+        "observed_ases": sorted(solution.observed_ases),
+        "censors": sorted(solution.censors),
+        "potential_censors": sorted(solution.potential_censors),
+        "eliminated": sorted(solution.eliminated),
+        "clause_count": solution.clause_count,
+        "positive_clause_count": solution.positive_clause_count,
+    }
+
+
+def _solution_from_dict(payload: Dict[str, Any]) -> ProblemSolution:
+    return ProblemSolution(
+        key=_problem_key_from_dict(payload["key"]),
+        status=SolutionStatus(payload["status"]),
+        num_solutions=payload["num_solutions"],
+        capped=payload["capped"],
+        observed_ases=frozenset(payload["observed_ases"]),
+        censors=frozenset(payload["censors"]),
+        potential_censors=frozenset(payload["potential_censors"]),
+        eliminated=frozenset(payload["eliminated"]),
+        clause_count=payload["clause_count"],
+        positive_clause_count=payload["positive_clause_count"],
+    )
+
 
 class LocalizationPipeline:
     """Drives the full §3 procedure over a dataset."""
@@ -116,24 +344,33 @@ class LocalizationPipeline:
         observations, discard_stats = build_observations(
             dataset, self.ip2as, anomalies=self.config.anomalies
         )
-        return self._run_from_observations(observations, discard_stats)
+        return self.run_from_observations(observations, discard_stats)
 
     def run_without_churn(self, dataset: Dataset) -> PipelineResult:
         """The Figure-4 ablation: drop every churn-created path."""
         observations, discard_stats = build_observations(
             dataset, self.ip2as, anomalies=self.config.anomalies
         )
-        return self._run_from_observations(
+        return self.run_from_observations(
             first_path_only(observations), discard_stats
         )
 
-    # -- internals -----------------------------------------------------------
-
-    def _run_from_observations(
+    def run_from_observations(
         self,
         observations: Sequence[Observation],
-        discard_stats: DiscardStats,
+        discard_stats: Optional[DiscardStats] = None,
     ) -> PipelineResult:
+        """Localize censors from pre-built observations.
+
+        Public entry point for callers (the sweep runner, custom ablation
+        filters) that construct or transform observations themselves and
+        therefore have no dataset to convert.  When ``discard_stats`` is
+        omitted, the result carries an all-zero :class:`DiscardStats` —
+        conversion was not observed here, and a zero total keeps
+        ``conversion_rate`` from reporting a fabricated 100%.
+        """
+        if discard_stats is None:
+            discard_stats = DiscardStats()
         groups = split_observations(
             observations, granularities=self.config.granularities
         )

@@ -1,0 +1,52 @@
+"""Scenario-sweep orchestration.
+
+The runner is the scaling layer over the single-shot pipeline: a
+declarative :class:`~repro.runner.spec.SweepSpec` expands into
+deterministic, individually-seeded :class:`~repro.runner.spec.JobSpec`s;
+:func:`~repro.runner.executor.run_sweep` fans them out over worker
+processes with per-job timeout and error capture; and the
+content-addressed :class:`~repro.runner.store.ResultStore` gives
+cache-hit skip, checkpointing, and resume.  ``python -m repro.runner``
+exposes it all as a CLI.
+
+Quickstart::
+
+    from repro.runner import JobSpec, SweepSpec, ResultStore, run_sweep
+
+    spec = SweepSpec(name="demo", preset="tiny", num_seeds=4,
+                     churn_modes=("with", "without"))
+    report = run_sweep(spec.expand(), store=ResultStore(".repro-results"),
+                       workers=4)
+"""
+
+from repro.runner.executor import (
+    JobOutcome,
+    SweepReport,
+    execute_job,
+    run_job,
+    run_sweep,
+)
+from repro.runner.results import (
+    JobSummary,
+    SweepSummary,
+    report_rows,
+    summarize_result,
+)
+from repro.runner.spec import CHURN_MODES, JobSpec, SweepSpec
+from repro.runner.store import ResultStore
+
+__all__ = [
+    "JobSpec",
+    "SweepSpec",
+    "CHURN_MODES",
+    "JobOutcome",
+    "SweepReport",
+    "run_job",
+    "execute_job",
+    "run_sweep",
+    "ResultStore",
+    "JobSummary",
+    "SweepSummary",
+    "summarize_result",
+    "report_rows",
+]

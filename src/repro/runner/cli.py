@@ -1,0 +1,324 @@
+"""Command-line interface: ``python -m repro.runner`` / ``repro-runner``.
+
+Subcommands:
+
+- ``sweep``  — expand a grid into jobs and run them over worker processes,
+  skipping jobs already in the result store (100% cache hits on re-run);
+- ``resume`` — re-expand a persisted sweep manifest and run only the jobs
+  with no stored record (picks up interrupted sweeps);
+- ``list``   — show persisted sweeps with done/total counts;
+- ``report`` — per-job and aggregate tables over stored records.
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import sys
+import time
+from typing import List, Optional, Sequence
+
+from repro.analysis.tables import format_table
+from repro.core.pipeline import DEFAULT_SOLUTION_CAP
+from repro.runner.executor import SweepReport, run_sweep
+from repro.runner.results import (
+    REPORT_HEADERS,
+    SweepSummary,
+    report_rows,
+)
+from repro.runner.spec import CHURN_MODES, SweepSpec, WITH_CHURN
+from repro.runner.store import ResultStore
+from repro.scenario.presets import PRESETS
+
+DEFAULT_STORE = ".repro-results"
+
+
+def _parse_churn(value: str) -> tuple:
+    if value == "both":
+        return CHURN_MODES
+    modes = tuple(part.strip() for part in value.split(",") if part.strip())
+    for mode in modes:
+        if mode not in CHURN_MODES:
+            raise argparse.ArgumentTypeError(
+                f"churn mode must be one of {CHURN_MODES + ('both',)}"
+            )
+    return modes
+
+
+def _parse_int_list(value: str) -> tuple:
+    try:
+        return tuple(int(part) for part in value.split(",") if part.strip())
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"not a comma-list of ints: {value!r}")
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-runner",
+        description="Parallel scenario sweeps over the localization pipeline.",
+    )
+    parser.add_argument(
+        "--store",
+        default=DEFAULT_STORE,
+        help=f"result store directory (default: {DEFAULT_STORE})",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    sweep = subparsers.add_parser("sweep", help="expand a grid and run it")
+    sweep.add_argument("--name", default=None, help="sweep name (manifest key)")
+    sweep.add_argument(
+        "--preset",
+        default="small",
+        choices=sorted(PRESETS),
+        help="scenario preset the grid is built on",
+    )
+    sweep.add_argument("--master-seed", type=int, default=0)
+    sweep.add_argument(
+        "--num-seeds", type=int, default=1, help="scenario seeds per variant"
+    )
+    sweep.add_argument(
+        "--churn",
+        type=_parse_churn,
+        default=(WITH_CHURN,),
+        help='"with", "without", "with,without", or "both"',
+    )
+    sweep.add_argument(
+        "--granularities",
+        action="append",
+        default=None,
+        metavar="G1,G2,...",
+        help="one granularity set per flag (repeatable grid axis)",
+    )
+    sweep.add_argument(
+        "--anomalies",
+        action="append",
+        default=None,
+        metavar="A1,A2,...",
+        help="one anomaly set per flag (repeatable grid axis; default: all five)",
+    )
+    sweep.add_argument(
+        "--solution-caps",
+        type=_parse_int_list,
+        default=(DEFAULT_SOLUTION_CAP,),
+        metavar="N1,N2,...",
+    )
+    sweep.add_argument("--skip-anomaly-free", action="store_true")
+    sweep.add_argument("--duration-days", type=int, default=None)
+    sweep.add_argument("--num-urls", type=int, default=None)
+    sweep.add_argument("--num-vantage-points", type=int, default=None)
+    sweep.add_argument("--tests-per-url-per-day", type=float, default=None)
+    sweep.add_argument("--schedule", choices=("poisson", "sweep"), default=None)
+    sweep.add_argument("--sweeps-per-pair-per-day", type=float, default=None)
+    sweep.add_argument("--workers", type=int, default=1)
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        help="per-job seconds; forces jobs onto worker processes",
+    )
+    sweep.add_argument(
+        "--dry-run", action="store_true", help="print the job plan and exit"
+    )
+
+    resume = subparsers.add_parser(
+        "resume", help="finish the missing jobs of a persisted sweep"
+    )
+    resume.add_argument("--name", required=True)
+    resume.add_argument("--workers", type=int, default=1)
+    resume.add_argument("--timeout", type=float, default=None)
+
+    subparsers.add_parser("list", help="list persisted sweeps")
+
+    report = subparsers.add_parser(
+        "report", help="summarize stored records"
+    )
+    report.add_argument(
+        "--name", default=None, help="restrict to one sweep's jobs"
+    )
+    return parser
+
+
+def _sweep_spec_from_args(args: argparse.Namespace) -> SweepSpec:
+    granularity_sets = tuple(
+        tuple(part.strip() for part in entry.split(",") if part.strip())
+        for entry in (args.granularities or ["day,week,month"])
+    )
+    anomaly_sets = tuple(
+        tuple(part.strip() for part in entry.split(",") if part.strip())
+        for entry in (args.anomalies or [""])
+    )
+    spec = SweepSpec(
+        name=args.name or "unnamed",
+        preset=args.preset,
+        master_seed=args.master_seed,
+        num_seeds=args.num_seeds,
+        churn_modes=args.churn,
+        granularity_sets=granularity_sets,
+        anomaly_sets=anomaly_sets,
+        solution_caps=args.solution_caps,
+        skip_anomaly_free=args.skip_anomaly_free,
+        duration_days=args.duration_days,
+        num_urls=args.num_urls,
+        num_vantage_points=args.num_vantage_points,
+        tests_per_url_per_day=args.tests_per_url_per_day,
+        schedule=args.schedule,
+        sweeps_per_pair_per_day=args.sweeps_per_pair_per_day,
+    )
+    if args.name is None:
+        # Default names embed a hash of the grid so two different grids
+        # never silently share (and overwrite) one manifest.
+        spec = dataclasses.replace(
+            spec, name=f"{args.preset}-m{args.master_seed}-{spec.content_id}"
+        )
+    return spec
+
+
+def _print_report(report: SweepReport, elapsed: float) -> None:
+    print(
+        f"\n{report.total} jobs: {report.cache_hits} cache hits, "
+        f"{report.executed} executed, {report.failures} failed "
+        f"({elapsed:.1f}s wall)"
+    )
+    summary = SweepSummary.aggregate(report.records.values())
+    if summary.ok:
+        print(
+            f"aggregate: {summary.measurements:,} measurements, "
+            f"{summary.problems:,} problems"
+            + (
+                f", {summary.unique_fraction:.1%} unique"
+                if summary.unique_fraction is not None
+                else ""
+            )
+            + (
+                f", precision {summary.mean_precision:.1%}"
+                if summary.mean_precision is not None
+                else ""
+            )
+            + (
+                f", recall {summary.mean_recall:.1%}"
+                if summary.mean_recall is not None
+                else ""
+            )
+        )
+
+
+def _run_jobs(
+    jobs: List,
+    store: ResultStore,
+    workers: int,
+    timeout: Optional[float],
+) -> int:
+    started = time.monotonic()
+    report = run_sweep(
+        jobs, store=store, workers=workers, timeout=timeout, progress=print
+    )
+    _print_report(report, time.monotonic() - started)
+    return 1 if report.failures else 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    spec = _sweep_spec_from_args(args)
+    jobs = spec.expand()
+    print(
+        f"sweep {spec.name!r}: {len(jobs)} jobs on preset {spec.preset!r} "
+        f"({args.workers} worker{'s' if args.workers != 1 else ''})"
+    )
+    if args.dry_run:
+        for job in jobs:
+            print(f"  {job.job_id}  {job.label}")
+        return 0
+    store = ResultStore(args.store)
+    try:
+        existing = store.load_sweep(spec.name)
+    except FileNotFoundError:
+        existing = None
+    if existing is not None and existing != spec:
+        print(
+            f"warning: replacing manifest {spec.name!r} with a different "
+            "grid; resume/report for this name now follow the new grid"
+        )
+    store.save_sweep(spec)
+    return _run_jobs(jobs, store, args.workers, args.timeout)
+
+
+def _cmd_resume(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    spec = store.load_sweep(args.name)
+    jobs = spec.expand()
+    missing = store.missing(jobs)
+    print(
+        f"resuming {spec.name!r}: {len(jobs) - len(missing)}/{len(jobs)} done, "
+        f"{len(missing)} to run"
+    )
+    return _run_jobs(jobs, store, args.workers, args.timeout)
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    names = store.sweep_names()
+    if not names:
+        print(f"no sweeps in {store.root}")
+        return 0
+    rows = []
+    for name in names:
+        spec = store.load_sweep(name)
+        jobs = spec.expand()
+        done = len(jobs) - len(store.missing(jobs))
+        rows.append((name, spec.preset, f"{done}/{len(jobs)}"))
+    print(format_table(["sweep", "preset", "done"], rows))
+    print(f"\n{len(store.job_ids())} job records in {store.root}")
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    if args.name is not None:
+        spec = store.load_sweep(args.name)
+        records = [
+            record
+            for record in (store.get(job.job_id) for job in spec.expand())
+            if record is not None
+        ]
+        title = f"sweep {args.name!r}"
+    else:
+        records = list(store.records())
+        title = f"all records in {store.root}"
+    if not records:
+        print(f"no records for {title}")
+        return 0
+    print(format_table(REPORT_HEADERS, report_rows(records), title=title))
+    summary = SweepSummary.aggregate(records)
+    print(
+        f"\n{summary.jobs} jobs ({summary.ok} ok, {summary.failed} failed), "
+        f"{summary.measurements:,} measurements, "
+        f"{summary.problems:,} problems"
+    )
+    if summary.unique_fraction is not None:
+        print(f"unique-solution fraction: {summary.unique_fraction:.1%}")
+    if summary.mean_precision is not None:
+        print(f"mean censor precision:    {summary.mean_precision:.1%}")
+    if summary.mean_recall is not None:
+        print(f"mean censor recall:       {summary.mean_recall:.1%}")
+    if summary.mean_reduction is not None:
+        print(f"mean candidate reduction: {summary.mean_reduction:.1%}")
+    return 0
+
+
+_COMMANDS = {
+    "sweep": _cmd_sweep,
+    "resume": _cmd_resume,
+    "list": _cmd_list,
+    "report": _cmd_report,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = _build_parser().parse_args(argv)
+    try:
+        return _COMMANDS[args.command](args)
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+__all__ = ["main"]

@@ -1,0 +1,358 @@
+"""Job execution: in-process, and fanned out over worker processes.
+
+``run_job`` is the one place the end-to-end chain (build world → run
+campaign → run pipeline) is wired; everything else — examples, the serial
+fallback, the multiprocessing pool — goes through it.  Records produced
+by a worker are byte-identical to records produced serially: they contain
+no timing, ordering, or host-specific data, which is what lets the store
+treat a record as a pure function of its job spec.
+
+The pool is deliberately plain ``Process`` + ``Pipe`` rather than
+``ProcessPoolExecutor``: a hung job must be *terminated* when its
+per-job timeout expires, and executor futures cannot be cancelled once
+running.  Failed jobs (error / timeout / crash) are reported but never
+stored, so a ``resume`` retries them.
+
+Known limit: once a worker has *started* sending its record, the driver
+trusts it to finish — a worker wedged mid-send (OOM thrash, SIGSTOP)
+would block the receive.  A job that hangs before sending (the common
+hang mode: world build, campaign, SAT) is always caught by the timeout.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import sys
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from repro.core.pipeline import PipelineResult
+from repro.iclab.dataset import Dataset
+from repro.runner.results import (
+    STATUS_CRASH,
+    STATUS_ERROR,
+    STATUS_OK,
+    STATUS_TIMEOUT,
+    summarize_result,
+)
+from repro.runner.spec import JobSpec
+from repro.runner.store import SCHEMA_VERSION, ResultStore
+from repro.scenario.world import World, build_world
+
+ProgressFn = Callable[[str], None]
+
+
+@dataclass
+class JobOutcome:
+    """One in-process run with every artifact still live.
+
+    Examples and notebooks use this to keep drilling into the world and
+    result; sweep workers keep only ``record``.  The record — dominated
+    by the serialized :class:`PipelineResult` — is built lazily, so
+    in-process callers that never store it pay nothing for it.
+    """
+
+    job: JobSpec
+    world: World
+    dataset: Dataset
+    result: PipelineResult
+    _record: Optional[Dict[str, Any]] = None
+
+    @property
+    def record(self) -> Dict[str, Any]:
+        if self._record is None:
+            self._record = _build_record(
+                self.job, self.world, self.dataset, self.result
+            )
+        return self._record
+
+
+def _build_record(
+    job: JobSpec, world: World, dataset: Dataset, result: PipelineResult
+) -> Dict[str, Any]:
+    stats = dataset.stats()
+    true_censors = sorted(world.deployment.censor_asns)
+    return {
+        "schema": SCHEMA_VERSION,
+        "job_id": job.job_id,
+        "label": job.label,
+        "job": job.to_dict(),
+        "status": STATUS_OK,
+        "world": {
+            "ases": len(world.graph),
+            "links": world.graph.num_links,
+            "vantage_points": len(world.vantage_points),
+            "urls": len(world.test_list),
+            "true_censors": true_censors,
+        },
+        "dataset": {
+            "measurements": stats.measurements,
+            "anomalies": stats.total_anomalies,
+        },
+        "summary": summarize_result(result, true_censors),
+        "result": result.to_dict(),
+    }
+
+
+def run_job(job: JobSpec) -> JobOutcome:
+    """Execute one job end-to-end in this process."""
+    world = build_world(job.scenario_config())
+    dataset = world.run_campaign()
+    pipeline = world.pipeline(job.pipeline_config())
+    if job.without_churn:
+        result = pipeline.run_without_churn(dataset)
+    else:
+        result = pipeline.run(dataset)
+    return JobOutcome(job=job, world=world, dataset=dataset, result=result)
+
+
+def _failure_record(job: JobSpec, status: str, error: str) -> Dict[str, Any]:
+    return {
+        "schema": SCHEMA_VERSION,
+        "job_id": job.job_id,
+        "label": job.label,
+        "job": job.to_dict(),
+        "status": status,
+        "error": error,
+    }
+
+
+def execute_job(job: JobSpec) -> Dict[str, Any]:
+    """Run one job, capturing any failure as an error record."""
+    try:
+        return run_job(job).record
+    except Exception as exc:  # noqa: BLE001 - the record is the report
+        return _failure_record(
+            job, STATUS_ERROR, f"{type(exc).__name__}: {exc}"
+        )
+
+
+def _child_main(job_payload: Dict[str, Any], conn) -> None:
+    """Worker entry point: rebuild the spec, run, ship the record back."""
+    record = execute_job(JobSpec.from_dict(job_payload))
+    conn.send(record)
+    conn.close()
+
+
+def _slim(record: Dict[str, Any]) -> Dict[str, Any]:
+    """A record without its full ``result`` payload.
+
+    The serialized :class:`PipelineResult` dominates a record's size;
+    keeping it for every job of a large sweep would scale the driver's
+    memory with total sweep output.  The store always holds the full
+    record — read it back from there when the solutions are needed.
+    """
+    return {key: value for key, value in record.items() if key != "result"}
+
+
+@dataclass
+class SweepReport:
+    """What happened to every job of one sweep invocation.
+
+    ``records`` holds slimmed records (identity, status, summary — not
+    the full serialized result; see :func:`_slim`).
+    """
+
+    records: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    cache_hits: int = 0
+    executed: int = 0
+    failures: int = 0
+    elapsed_by_job: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> int:
+        return len(self.records)
+
+    def failed_records(self) -> List[Dict[str, Any]]:
+        return [
+            record
+            for record in self.records.values()
+            if record["status"] != STATUS_OK
+        ]
+
+
+def run_sweep(
+    jobs: Sequence[JobSpec],
+    store: Optional[ResultStore] = None,
+    workers: int = 1,
+    timeout: Optional[float] = None,
+    progress: Optional[ProgressFn] = None,
+) -> SweepReport:
+    """Run every job, skipping store hits and checkpointing completions.
+
+    ``workers <= 1`` runs serially in-process (the fallback when
+    multiprocessing is unavailable or undesired) — unless ``timeout`` is
+    set, which always routes jobs through worker processes, because
+    terminating the worker is the only way to stop a hung job.
+    Successful records are put into the store as they complete, so an
+    interrupted sweep loses at most the in-flight jobs.
+    """
+    report = SweepReport()
+    say = progress or (lambda message: None)
+    todo: List[JobSpec] = []
+    seen: set = set()
+    for job in jobs:
+        if job.job_id in seen:
+            continue  # identical spec → identical record; run once
+        seen.add(job.job_id)
+        cached = store.get(job.job_id) if store is not None else None
+        if cached is not None:
+            report.records[job.job_id] = _slim(cached)
+            report.cache_hits += 1
+            say(f"[cache] {job.label}")
+        else:
+            todo.append(job)
+
+    done = 0
+
+    def handle(job: JobSpec, record: Dict[str, Any], elapsed: float) -> None:
+        nonlocal done
+        done += 1
+        report.records[job.job_id] = _slim(record)
+        report.elapsed_by_job[job.job_id] = elapsed
+        report.executed += 1
+        if record["status"] == STATUS_OK:
+            if store is not None:
+                store.put(record)
+            summary = record["summary"]
+            say(
+                f"[{done}/{len(todo)}] {job.label}: "
+                f"{summary['unique']} unique / {summary['multiple']} multiple "
+                f"/ {summary['unsat']} unsat ({elapsed:.1f}s)"
+            )
+        else:
+            report.failures += 1
+            say(
+                f"[{done}/{len(todo)}] {job.label}: "
+                f"{record['status'].upper()} {record.get('error', '')} "
+                f"({elapsed:.1f}s)"
+            )
+
+    if timeout is None and (workers <= 1 or len(todo) <= 1):
+        for job in todo:
+            started = time.monotonic()
+            record = execute_job(job)
+            handle(job, record, time.monotonic() - started)
+    else:
+        _run_parallel(
+            todo, workers=max(1, workers), timeout=timeout, handle=handle
+        )
+    return report
+
+
+def _pool_context():
+    # Fork is the cheap path but only trustworthy on Linux; macOS moved
+    # its default to spawn because forking after CoreFoundation use
+    # aborts the child (bpo-33725).  Elsewhere, keep the platform default.
+    if sys.platform == "linux":
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" in methods:
+            return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _run_parallel(
+    jobs: Sequence[JobSpec],
+    workers: int,
+    timeout: Optional[float],
+    handle: Callable[[JobSpec, Dict[str, Any], float], None],
+) -> None:
+    """A terminate-capable pool: one process per in-flight job."""
+    ctx = _pool_context()
+    pending = deque(jobs)
+    active: Dict[str, Any] = {}  # job_id -> (job, process, conn, started)
+
+    try:
+        _drain(ctx, pending, active, workers, timeout, handle)
+    finally:
+        # On KeyboardInterrupt or a handler failure (e.g. the store's
+        # disk filling), live non-daemon workers would otherwise be
+        # joined by multiprocessing's atexit hook — a hung job would
+        # block interpreter exit indefinitely.
+        for _, process, conn, _ in active.values():
+            if process.is_alive():
+                process.terminate()
+            process.join()
+            conn.close()
+
+
+def _drain(
+    ctx,
+    pending: deque,
+    active: Dict[str, Any],
+    workers: int,
+    timeout: Optional[float],
+    handle: Callable[[JobSpec, Dict[str, Any], float], None],
+) -> None:
+    while pending or active:
+        while pending and len(active) < workers:
+            job = pending.popleft()
+            parent_conn, child_conn = ctx.Pipe(duplex=False)
+            process = ctx.Process(
+                target=_child_main, args=(job.to_dict(), child_conn)
+            )
+            process.start()
+            child_conn.close()
+            active[job.job_id] = (job, process, parent_conn, time.monotonic())
+
+        finished: List[str] = []
+        for job_id, (job, process, conn, started) in list(active.items()):
+            record: Optional[Dict[str, Any]] = None
+            if conn.poll(0):
+                try:
+                    record = conn.recv()
+                except EOFError:
+                    record = _failure_record(
+                        job, STATUS_CRASH, "worker pipe closed mid-record"
+                    )
+            elif (
+                timeout is not None
+                and time.monotonic() - started > timeout
+            ):
+                # Grace poll: the record may have landed while other
+                # workers were being handled; a finished job must not be
+                # killed and misreported as a timeout.
+                try:
+                    record = conn.recv() if conn.poll(0.05) else None
+                except EOFError:
+                    record = None
+                if record is None:
+                    process.terminate()
+                    record = _failure_record(
+                        job, STATUS_TIMEOUT, f"exceeded {timeout:.1f}s"
+                    )
+            elif not process.is_alive():
+                # The record may have landed between the poll above and the
+                # liveness check; look once more before declaring a crash.
+                # A killed worker's closed pipe also reads as "ready", so
+                # the recv itself may still hit EOF.
+                try:
+                    record = conn.recv() if conn.poll(0.05) else None
+                except EOFError:
+                    record = None
+                if record is None:
+                    record = _failure_record(
+                        job,
+                        STATUS_CRASH,
+                        f"worker died with exit code {process.exitcode}",
+                    )
+            if record is not None:
+                process.join()
+                conn.close()
+                finished.append(job_id)
+                handle(job, record, time.monotonic() - started)
+        for job_id in finished:
+            del active[job_id]
+        if not finished:
+            time.sleep(0.02)
+
+
+__all__ = [
+    "JobOutcome",
+    "run_job",
+    "execute_job",
+    "run_sweep",
+    "SweepReport",
+]

@@ -1,0 +1,207 @@
+"""Typed summaries of job records and cross-job aggregation.
+
+The executor embeds a deterministic per-job ``summary`` dict in every
+record (computed in the worker, where the world's ground-truth censor
+deployment is in hand).  This module defines that summary, a typed view
+over it (:class:`JobSummary`), and the sweep-level rollup
+(:class:`SweepSummary`) plus table rows for the CLI's ``report``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.pipeline import PipelineResult
+from repro.core.problem import SolutionStatus
+
+STATUS_OK = "ok"
+STATUS_ERROR = "error"
+STATUS_TIMEOUT = "timeout"
+STATUS_CRASH = "crash"
+
+
+def summarize_result(
+    result: PipelineResult, true_censors: Sequence[int]
+) -> Dict[str, Any]:
+    """The deterministic per-job summary embedded in a record.
+
+    Censor recovery is scored against the known deployment: precision
+    over the exactly-identified ASNs, recall over the true censors.
+    ``precision`` is None when nothing was identified.
+    """
+    statuses = result.by_status()
+    identified = result.identified_censor_asns
+    truth = set(true_censors)
+    true_positives = [asn for asn in identified if asn in truth]
+    precision = (
+        len(true_positives) / len(identified) if identified else None
+    )
+    recall = len(true_positives) / len(truth) if truth else None
+    return {
+        "problems": len(result.solutions),
+        "unique": statuses[SolutionStatus.UNIQUE],
+        "multiple": statuses[SolutionStatus.MULTIPLE],
+        "unsat": statuses[SolutionStatus.UNSATISFIABLE],
+        "identified_censors": sorted(identified),
+        "true_positives": sorted(true_positives),
+        "precision": precision,
+        "recall": recall,
+        "reduction_mean": result.reduction_stats.mean,
+        "reduction_median": result.reduction_stats.median,
+        "reduction_count": result.reduction_stats.count,
+        "leaking_censors": len(result.leakage_report.leaking_censors),
+        "cross_border_censors": len(
+            result.leakage_report.cross_border_censors
+        ),
+        "conversion_rate": result.discard_stats.conversion_rate,
+    }
+
+
+@dataclass(frozen=True)
+class JobSummary:
+    """A typed view over one record's identity and summary."""
+
+    job_id: str
+    label: str
+    status: str
+    problems: int = 0
+    unique: int = 0
+    multiple: int = 0
+    unsat: int = 0
+    identified: int = 0
+    true_positives: int = 0
+    precision: Optional[float] = None
+    recall: Optional[float] = None
+    reduction_mean: float = 0.0
+    cross_border_censors: int = 0
+    measurements: int = 0
+    error: Optional[str] = None
+
+    @classmethod
+    def from_record(cls, record: Dict[str, Any]) -> "JobSummary":
+        base = {
+            "job_id": record["job_id"],
+            "label": record.get("label", record["job_id"]),
+            "status": record["status"],
+        }
+        if record["status"] != STATUS_OK:
+            return cls(error=record.get("error"), **base)
+        summary = record["summary"]
+        return cls(
+            problems=summary["problems"],
+            unique=summary["unique"],
+            multiple=summary["multiple"],
+            unsat=summary["unsat"],
+            identified=len(summary["identified_censors"]),
+            true_positives=len(summary["true_positives"]),
+            precision=summary["precision"],
+            recall=summary["recall"],
+            reduction_mean=summary["reduction_mean"],
+            cross_border_censors=summary["cross_border_censors"],
+            measurements=record.get("dataset", {}).get("measurements", 0),
+            **base,
+        )
+
+
+def _mean(values: Sequence[float]) -> Optional[float]:
+    return sum(values) / len(values) if values else None
+
+
+@dataclass(frozen=True)
+class SweepSummary:
+    """Aggregate metrics over a set of job records."""
+
+    jobs: int
+    ok: int
+    failed: int
+    measurements: int
+    problems: int
+    unique_fraction: Optional[float]
+    mean_precision: Optional[float]
+    mean_recall: Optional[float]
+    mean_reduction: Optional[float]
+
+    @classmethod
+    def aggregate(cls, records: Iterable[Dict[str, Any]]) -> "SweepSummary":
+        summaries = [JobSummary.from_record(record) for record in records]
+        ok = [s for s in summaries if s.status == STATUS_OK]
+        problems = sum(s.problems for s in ok)
+        unique = sum(s.unique for s in ok)
+        return cls(
+            jobs=len(summaries),
+            ok=len(ok),
+            failed=len(summaries) - len(ok),
+            measurements=sum(s.measurements for s in ok),
+            problems=problems,
+            unique_fraction=(unique / problems) if problems else None,
+            mean_precision=_mean(
+                [s.precision for s in ok if s.precision is not None]
+            ),
+            mean_recall=_mean([s.recall for s in ok if s.recall is not None]),
+            mean_reduction=_mean(
+                [s.reduction_mean for s in ok if s.multiple > 0]
+            ),
+        )
+
+
+def _percent(value: Optional[float]) -> str:
+    return f"{value:.1%}" if value is not None else "n/a"
+
+
+REPORT_HEADERS = [
+    "job",
+    "status",
+    "problems",
+    "unique",
+    "multiple",
+    "unsat",
+    "censors (TP/found/true)",
+    "precision",
+    "recall",
+    "reduction",
+]
+
+
+def report_rows(records: Iterable[Dict[str, Any]]) -> List[Tuple]:
+    """Per-job rows for :func:`repro.analysis.tables.format_table`."""
+    rows: List[Tuple] = []
+    for record in records:
+        summary = JobSummary.from_record(record)
+        if summary.status != STATUS_OK:
+            rows.append(
+                (summary.label, summary.status, "-", "-", "-", "-",
+                 (summary.error or "")[:40], "-", "-", "-")
+            )
+            continue
+        true_count = len(record.get("world", {}).get("true_censors", []))
+        rows.append(
+            (
+                summary.label,
+                summary.status,
+                summary.problems,
+                summary.unique,
+                summary.multiple,
+                summary.unsat,
+                f"{summary.true_positives}/{summary.identified}/{true_count}",
+                _percent(summary.precision),
+                _percent(summary.recall),
+                _percent(summary.reduction_mean)
+                if summary.multiple
+                else "n/a",
+            )
+        )
+    return rows
+
+
+__all__ = [
+    "summarize_result",
+    "JobSummary",
+    "SweepSummary",
+    "report_rows",
+    "REPORT_HEADERS",
+    "STATUS_OK",
+    "STATUS_ERROR",
+    "STATUS_TIMEOUT",
+    "STATUS_CRASH",
+]

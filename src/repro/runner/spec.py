@@ -1,0 +1,326 @@
+"""Declarative sweep specifications.
+
+A :class:`JobSpec` names everything one end-to-end run needs — a scenario
+preset, a seed, optional scenario overrides, the churn ablation switch,
+and the pipeline knobs — using only JSON-friendly primitives, so a job is
+hashable into a stable content address and reconstructible in a worker
+process.  A :class:`SweepSpec` is the grid: it expands preset × seeds ×
+churn modes × granularity sets × anomaly sets × solution caps into a
+deterministic list of individually-seeded jobs.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+import re
+from dataclasses import dataclass, fields, replace
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.anomaly import Anomaly
+from repro.core.pipeline import DEFAULT_SOLUTION_CAP, PipelineConfig
+from repro.scenario.config import ScenarioConfig
+from repro.scenario.presets import PRESETS, preset
+from repro.util.rng import derive_seed
+from repro.util.timeutil import DAY, Granularity
+
+WITH_CHURN = "with"
+WITHOUT_CHURN = "without"
+CHURN_MODES = (WITH_CHURN, WITHOUT_CHURN)
+
+_GRANULARITY_VALUES = tuple(g.value for g in Granularity)
+_ANOMALY_VALUES = tuple(a.value for a in Anomaly)
+
+
+def _canonical_json(payload: Dict[str, Any]) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+# Sweep names become manifest file names; keep them path-safe.
+SWEEP_NAME_PATTERN = re.compile(r"[A-Za-z0-9][A-Za-z0-9._-]*")
+
+
+@dataclass(frozen=True)
+class JobSpec:
+    """One fully determined end-to-end run.
+
+    Every field is a primitive (or tuple of primitives): the spec is the
+    unit of serialization between the driver, the result store, and
+    worker processes.  ``None`` overrides mean "use the preset's value".
+    """
+
+    preset: str = "small"
+    seed: int = 0
+    churn: str = WITH_CHURN
+    granularities: Tuple[str, ...] = ("day", "week", "month")
+    anomalies: Tuple[str, ...] = ()  # () → the five ICLab anomalies
+    solution_cap: int = DEFAULT_SOLUTION_CAP
+    skip_anomaly_free: bool = False
+    # scenario overrides
+    duration_days: Optional[int] = None
+    num_urls: Optional[int] = None
+    num_vantage_points: Optional[int] = None
+    tests_per_url_per_day: Optional[float] = None
+    schedule: Optional[str] = None
+    sweeps_per_pair_per_day: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.preset not in PRESETS:
+            raise ValueError(
+                f"unknown preset {self.preset!r}; choose from {sorted(PRESETS)}"
+            )
+        if self.churn not in CHURN_MODES:
+            raise ValueError(
+                f"churn must be one of {CHURN_MODES}, got {self.churn!r}"
+            )
+        if not self.granularities:
+            raise ValueError("a job needs at least one granularity")
+        for granularity in self.granularities:
+            if granularity not in _GRANULARITY_VALUES:
+                raise ValueError(f"unknown granularity {granularity!r}")
+        for anomaly in self.anomalies:
+            if anomaly not in _ANOMALY_VALUES:
+                raise ValueError(f"unknown anomaly {anomaly!r}")
+        if self.solution_cap < 1:
+            raise ValueError("solution_cap must be positive")
+
+    # -- identity --------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """All fields as JSON-compatible values (tuples become lists)."""
+        out: Dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            out[spec_field.name] = list(value) if isinstance(value, tuple) else value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "JobSpec":
+        kwargs = dict(payload)
+        for key in ("granularities", "anomalies"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+    @property
+    def job_id(self) -> str:
+        """Content address: a stable hash of the canonical spec JSON."""
+        digest = hashlib.sha256(_canonical_json(self.to_dict()).encode("utf-8"))
+        return digest.hexdigest()[:20]
+
+    @property
+    def label(self) -> str:
+        """Short human-readable identity for progress lines and tables.
+
+        Every field that differs from its default shows up, so two
+        distinct jobs in one report never share a label.
+        """
+        parts = [self.preset, f"s{self.seed}", f"{self.churn}-churn"]
+        parts.append("+".join(self.granularities))
+        if self.anomalies:
+            parts.append("+".join(self.anomalies))
+        if self.solution_cap != DEFAULT_SOLUTION_CAP:
+            parts.append(f"cap{self.solution_cap}")
+        if self.skip_anomaly_free:
+            parts.append("skip-af")
+        overrides = [
+            f"{tag}{value}"
+            for tag, value in (
+                ("d", self.duration_days),
+                ("u", self.num_urls),
+                ("v", self.num_vantage_points),
+                ("t", self.tests_per_url_per_day),
+                ("", self.schedule),
+                ("spd", self.sweeps_per_pair_per_day),
+            )
+            if value is not None
+        ]
+        parts.extend(overrides)
+        return "/".join(parts)
+
+    # -- materialization -------------------------------------------------
+
+    def scenario_config(self) -> ScenarioConfig:
+        """The preset config with this job's overrides applied."""
+        config = preset(self.preset, seed=self.seed)
+        updates: Dict[str, Any] = {}
+        if self.duration_days is not None:
+            updates["duration"] = self.duration_days * DAY
+        if self.num_urls is not None:
+            updates["num_urls"] = self.num_urls
+        if self.num_vantage_points is not None:
+            updates["num_vantage_points"] = self.num_vantage_points
+        if self.tests_per_url_per_day is not None:
+            updates["tests_per_url_per_day"] = self.tests_per_url_per_day
+        if updates:
+            config = replace(config, **updates)
+        if self.schedule is not None or self.sweeps_per_pair_per_day is not None:
+            base = config.platform_config()
+            config = replace(
+                config,
+                platform=replace(
+                    base,
+                    schedule=self.schedule or base.schedule,
+                    sweeps_per_pair_per_day=(
+                        self.sweeps_per_pair_per_day
+                        if self.sweeps_per_pair_per_day is not None
+                        else base.sweeps_per_pair_per_day
+                    ),
+                ),
+            )
+        return config
+
+    def pipeline_config(self) -> PipelineConfig:
+        """The pipeline knobs as a :class:`PipelineConfig`."""
+        anomalies = (
+            tuple(Anomaly(a) for a in self.anomalies)
+            if self.anomalies
+            else Anomaly.all()
+        )
+        return PipelineConfig(
+            granularities=tuple(Granularity(g) for g in self.granularities),
+            anomalies=anomalies,
+            solution_cap=self.solution_cap,
+            skip_anomaly_free_problems=self.skip_anomaly_free,
+        )
+
+    @property
+    def without_churn(self) -> bool:
+        """Whether this job applies the Figure-4 no-churn ablation."""
+        return self.churn == WITHOUT_CHURN
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """A grid of jobs over one preset.
+
+    ``num_seeds`` scenario seeds are derived deterministically from
+    ``master_seed``, then crossed with every churn mode, granularity set,
+    anomaly set, and solution cap.  The scenario overrides apply to every
+    job in the sweep.
+    """
+
+    name: str
+    preset: str = "small"
+    master_seed: int = 0
+    num_seeds: int = 1
+    churn_modes: Tuple[str, ...] = (WITH_CHURN,)
+    granularity_sets: Tuple[Tuple[str, ...], ...] = (("day", "week", "month"),)
+    anomaly_sets: Tuple[Tuple[str, ...], ...] = ((),)
+    solution_caps: Tuple[int, ...] = (DEFAULT_SOLUTION_CAP,)
+    skip_anomaly_free: bool = False
+    duration_days: Optional[int] = None
+    num_urls: Optional[int] = None
+    num_vantage_points: Optional[int] = None
+    tests_per_url_per_day: Optional[float] = None
+    schedule: Optional[str] = None
+    sweeps_per_pair_per_day: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("a sweep needs a name")
+        if not SWEEP_NAME_PATTERN.fullmatch(self.name):
+            raise ValueError(
+                f"sweep name {self.name!r} must be alphanumeric plus '._-' "
+                "(it becomes the manifest file name)"
+            )
+        if self.num_seeds < 1:
+            raise ValueError("num_seeds must be positive")
+        if not (
+            self.churn_modes
+            and self.granularity_sets
+            and self.anomaly_sets
+            and self.solution_caps
+        ):
+            raise ValueError("every grid axis needs at least one value")
+
+    @property
+    def content_id(self) -> str:
+        """A stable hash of the grid itself (the name excluded), so
+        name-less CLI invocations of different grids never collide."""
+        payload = self.to_dict()
+        payload.pop("name")
+        digest = hashlib.sha256(_canonical_json(payload).encode("utf-8"))
+        return digest.hexdigest()[:8]
+
+    def seeds(self) -> List[int]:
+        """The scenario seeds, derived stably from the master seed."""
+        return [
+            derive_seed(self.master_seed, "sweep-job-seed", index) % (2**31)
+            for index in range(self.num_seeds)
+        ]
+
+    @property
+    def size(self) -> int:
+        """Number of distinct jobs the grid expands to."""
+        return len(self.expand())
+
+    def expand(self) -> List[JobSpec]:
+        """The full deterministic job list (seeds vary slowest).
+
+        Repeated axis values (``--churn with,with``) collapse: identical
+        specs would race for one content address, so each distinct job
+        appears once, and every consumer (run, resume, list, report)
+        sees the same deduplicated set.
+        """
+        jobs: List[JobSpec] = []
+        seen: set = set()
+        for seed, churn, granularities, anomalies, cap in itertools.product(
+            self.seeds(),
+            self.churn_modes,
+            self.granularity_sets,
+            self.anomaly_sets,
+            self.solution_caps,
+        ):
+            job = JobSpec(
+                preset=self.preset,
+                seed=seed,
+                churn=churn,
+                granularities=tuple(granularities),
+                anomalies=tuple(anomalies),
+                solution_cap=cap,
+                skip_anomaly_free=self.skip_anomaly_free,
+                duration_days=self.duration_days,
+                num_urls=self.num_urls,
+                num_vantage_points=self.num_vantage_points,
+                tests_per_url_per_day=self.tests_per_url_per_day,
+                schedule=self.schedule,
+                sweeps_per_pair_per_day=self.sweeps_per_pair_per_day,
+            )
+            if job.job_id not in seen:
+                seen.add(job.job_id)
+                jobs.append(job)
+        return jobs
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (nested tuples become nested lists)."""
+        out: Dict[str, Any] = {}
+        for spec_field in fields(self):
+            value = getattr(self, spec_field.name)
+            if spec_field.name in ("granularity_sets", "anomaly_sets"):
+                value = [list(group) for group in value]
+            elif isinstance(value, tuple):
+                value = list(value)
+            out[spec_field.name] = value
+        return out
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "SweepSpec":
+        kwargs = dict(payload)
+        for key in ("granularity_sets", "anomaly_sets"):
+            if key in kwargs:
+                kwargs[key] = tuple(tuple(group) for group in kwargs[key])
+        for key in ("churn_modes", "solution_caps"):
+            if key in kwargs:
+                kwargs[key] = tuple(kwargs[key])
+        return cls(**kwargs)
+
+
+__all__ = [
+    "JobSpec",
+    "SweepSpec",
+    "WITH_CHURN",
+    "WITHOUT_CHURN",
+    "CHURN_MODES",
+]

@@ -1,0 +1,171 @@
+"""Content-addressed on-disk result store.
+
+Records are JSON files keyed by the job's content hash
+(``jobs/<job_id>.json``), written atomically and byte-deterministically:
+the same job run anywhere serializes to the same bytes, so a store can be
+diffed, rsynced, or rebuilt worker-by-worker without coordination.  Sweep
+manifests (``sweeps/<name>.json``) persist the expanded grid's spec so an
+interrupted sweep can be resumed by re-expanding and running only the
+jobs with no stored record.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Iterable, Iterator, List, Optional
+
+from repro.runner.spec import JobSpec, SWEEP_NAME_PATTERN, SweepSpec
+
+SCHEMA_VERSION = 1
+
+
+def encode_record(record: Dict[str, Any]) -> bytes:
+    """The canonical byte encoding of a record (sorted keys, fixed EOL)."""
+    return (json.dumps(record, sort_keys=True, indent=1) + "\n").encode("utf-8")
+
+
+def _atomic_write(path: Path, data: bytes) -> None:
+    handle, tmp_path = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as tmp:
+            tmp.write(data)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+class ResultStore:
+    """A directory of job records plus sweep manifests."""
+
+    def __init__(self, root: os.PathLike) -> None:
+        self.root = Path(root)
+        self.jobs_dir = self.root / "jobs"
+        self.sweeps_dir = self.root / "sweeps"
+        self.jobs_dir.mkdir(parents=True, exist_ok=True)
+        self.sweeps_dir.mkdir(parents=True, exist_ok=True)
+
+    # -- job records -----------------------------------------------------
+
+    def path_for(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}.json"
+
+    def has(self, job_id: str) -> bool:
+        """Whether a usable record for ``job_id`` exists (a cache hit).
+
+        Cheap by design — ``missing``/``list`` call this per job, and
+        parsing full records (dominated by the serialized result) would
+        read the whole store just to count.  A byte probe for the
+        canonical top-level schema line decides the common case; JSON
+        escapes newlines inside strings, so the marker cannot occur in
+        a value.  Anything unexpected falls back to a full :meth:`get`.
+        """
+        path = self.path_for(job_id)
+        if not path.is_file():
+            return False
+        try:
+            data = path.read_bytes()
+        except OSError:
+            return False
+        # Canonical records end with the top-level close brace at column
+        # zero — every nested close is indented — so this also rejects
+        # truncated files without parsing.
+        if (
+            data.endswith(b"\n}\n")
+            and f'\n "schema": {SCHEMA_VERSION},'.encode("utf-8") in data
+        ):
+            return True
+        return self.get(job_id) is not None
+
+    def get(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The stored record, or None.
+
+        Records written under a different schema version — or corrupt /
+        truncated files (the store is pitched as rsync-able) — read as
+        misses, so the job re-runs rather than crashing every store
+        operation or serving a stale-layout record.
+        """
+        path = self.path_for(job_id)
+        if not path.is_file():
+            return None
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                record = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+            return None
+        if not isinstance(record, dict) or record.get("schema") != SCHEMA_VERSION:
+            return None
+        return record
+
+    def put(self, record: Dict[str, Any]) -> str:
+        """Store a record under its job's content address, atomically."""
+        job_id = record.get("job_id")
+        if not job_id:
+            job_id = JobSpec.from_dict(record["job"]).job_id
+        _atomic_write(self.path_for(job_id), encode_record(record))
+        return job_id
+
+    def job_ids(self) -> List[str]:
+        """All stored job ids, sorted."""
+        return sorted(path.stem for path in self.jobs_dir.glob("*.json"))
+
+    def records(self) -> Iterator[Dict[str, Any]]:
+        """All stored records, in job-id order."""
+        for job_id in self.job_ids():
+            record = self.get(job_id)
+            if record is not None:
+                yield record
+
+    def missing(self, jobs: Iterable[JobSpec]) -> List[JobSpec]:
+        """The subset of ``jobs`` with no stored record yet."""
+        return [job for job in jobs if not self.has(job.job_id)]
+
+    # -- sweep manifests -------------------------------------------------
+
+    def sweep_path(self, name: str) -> Path:
+        if not SWEEP_NAME_PATTERN.fullmatch(name):
+            raise ValueError(
+                f"invalid sweep name {name!r}: must be alphanumeric plus '._-'"
+            )
+        return self.sweeps_dir / f"{name}.json"
+
+    def save_sweep(self, spec: SweepSpec) -> Path:
+        """Persist a sweep manifest so the grid can be re-expanded later."""
+        payload = {"schema": SCHEMA_VERSION, "spec": spec.to_dict()}
+        path = self.sweep_path(spec.name)
+        _atomic_write(path, encode_record(payload))
+        return path
+
+    def load_sweep(self, name: str) -> SweepSpec:
+        """Rebuild a sweep spec from its manifest."""
+        path = self.sweep_path(name)
+        if not path.is_file():
+            raise FileNotFoundError(
+                f"no sweep named {name!r} in {self.sweeps_dir}"
+            )
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                payload = json.load(handle)
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            raise ValueError(f"sweep manifest {name!r} is corrupt: {exc}")
+        if payload.get("schema") != SCHEMA_VERSION:
+            raise ValueError(
+                f"sweep manifest {name!r} has schema "
+                f"{payload.get('schema')!r}, expected {SCHEMA_VERSION}"
+            )
+        return SweepSpec.from_dict(payload["spec"])
+
+    def sweep_names(self) -> List[str]:
+        """All persisted sweep names, sorted."""
+        return sorted(path.stem for path in self.sweeps_dir.glob("*.json"))
+
+
+__all__ = ["ResultStore", "encode_record", "SCHEMA_VERSION"]

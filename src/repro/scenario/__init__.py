@@ -9,7 +9,7 @@ scales used by tests (``tiny``), examples (``small``), and benchmarks
 """
 
 from repro.scenario.config import ScenarioConfig
-from repro.scenario.presets import paper_shaped, small, tiny
+from repro.scenario.presets import PRESETS, paper_shaped, preset, small, tiny
 from repro.scenario.world import World, build_world
 
 __all__ = [
@@ -19,4 +19,6 @@ __all__ = [
     "tiny",
     "small",
     "paper_shaped",
+    "preset",
+    "PRESETS",
 ]

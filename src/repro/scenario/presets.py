@@ -81,4 +81,23 @@ def paper_shaped(seed: int = 0, duration_days: int = 120) -> ScenarioConfig:
     )
 
 
-__all__ = ["tiny", "small", "paper_shaped"]
+PRESETS = {
+    "tiny": tiny,
+    "small": small,
+    "paper_shaped": paper_shaped,
+}
+
+
+def preset(name: str, seed: int = 0) -> ScenarioConfig:
+    """Look up a preset by name — the string-keyed entry point the sweep
+    runner and CLI use so job specs stay JSON-serializable."""
+    try:
+        factory = PRESETS[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown preset {name!r}; choose from {sorted(PRESETS)}"
+        ) from None
+    return factory(seed=seed)
+
+
+__all__ = ["tiny", "small", "paper_shaped", "preset", "PRESETS"]

@@ -1,0 +1,197 @@
+"""Sweep execution: caching, resume, failure capture, determinism, CLI."""
+
+from repro.runner import ResultStore, SweepSpec, run_sweep
+from repro.runner.cli import main
+from repro.runner.results import STATUS_ERROR, STATUS_OK
+from repro.runner.spec import CHURN_MODES, JobSpec
+
+MINI = dict(duration_days=3, num_urls=4, num_vantage_points=5)
+
+
+def mini_jobs(count=2, **overrides):
+    spec = SweepSpec(
+        name="mini", preset="tiny", num_seeds=count, **{**MINI, **overrides}
+    )
+    return spec.expand()
+
+
+class TestRunSweep:
+    def test_serial_sweep_stores_and_caches(self, tmp_path):
+        jobs = mini_jobs(2)
+        store = ResultStore(tmp_path)
+        first = run_sweep(jobs, store=store, workers=1)
+        assert first.executed == 2
+        assert first.cache_hits == 0
+        assert first.failures == 0
+        assert store.job_ids() == sorted(job.job_id for job in jobs)
+        # Immediate re-run: 100% cache hits, nothing executed.
+        second = run_sweep(jobs, store=store, workers=1)
+        assert second.cache_hits == 2
+        assert second.executed == 0
+        assert second.records == first.records
+
+    def test_resume_runs_only_missing_jobs(self, tmp_path):
+        jobs = mini_jobs(3)
+        store = ResultStore(tmp_path)
+        run_sweep(jobs, store=store, workers=1)
+        # Simulate an interruption that lost one record.
+        store.path_for(jobs[1].job_id).unlink()
+        assert store.missing(jobs) == [jobs[1]]
+        report = run_sweep(jobs, store=store, workers=1)
+        assert report.cache_hits == 2
+        assert report.executed == 1
+        assert store.missing(jobs) == []
+
+    def test_error_capture_without_store_poisoning(self, tmp_path):
+        # num_urls=0 passes spec validation but fails world construction.
+        bad = JobSpec(preset="tiny", seed=1, duration_days=3, num_urls=0)
+        good = mini_jobs(1)[0]
+        store = ResultStore(tmp_path)
+        report = run_sweep([bad, good], store=store, workers=1)
+        assert report.failures == 1
+        bad_record = report.records[bad.job_id]
+        assert bad_record["status"] == STATUS_ERROR
+        assert "ValueError" in bad_record["error"]
+        assert report.records[good.job_id]["status"] == STATUS_OK
+        # Failures are not cached: a later run retries them.
+        assert store.missing([bad, good]) == [bad]
+
+    def test_parallel_matches_serial_byte_for_byte(self, tmp_path):
+        """Determinism guard: a 4-job sweep produces byte-identical
+        result records at workers=1 and workers=4 for one master seed."""
+        spec = SweepSpec(
+            name="det",
+            preset="tiny",
+            master_seed=13,
+            num_seeds=2,
+            churn_modes=CHURN_MODES,
+            **MINI,
+        )
+        jobs = spec.expand()
+        assert len(jobs) == 4
+        serial_store = ResultStore(tmp_path / "serial")
+        parallel_store = ResultStore(tmp_path / "parallel")
+        serial = run_sweep(jobs, store=serial_store, workers=1)
+        parallel = run_sweep(jobs, store=parallel_store, workers=4)
+        assert serial.failures == parallel.failures == 0
+        for job in jobs:
+            serial_bytes = serial_store.path_for(job.job_id).read_bytes()
+            parallel_bytes = parallel_store.path_for(job.job_id).read_bytes()
+            assert serial_bytes == parallel_bytes
+
+    def test_parallel_error_capture(self, tmp_path):
+        bad = JobSpec(preset="tiny", seed=2, duration_days=3, num_urls=0)
+        jobs = mini_jobs(1) + [bad]
+        report = run_sweep(jobs, store=ResultStore(tmp_path), workers=2)
+        assert report.failures == 1
+        assert report.records[bad.job_id]["status"] == STATUS_ERROR
+
+    def test_sweep_without_store(self):
+        report = run_sweep(mini_jobs(1), store=None, workers=1)
+        assert report.executed == 1
+        assert report.cache_hits == 0
+
+    def test_timeout_enforced_even_at_one_worker(self, tmp_path):
+        # timeout must route through the terminate-capable pool so a hung
+        # job cannot stall a serial sweep; a tiny cap proves enforcement.
+        slow = JobSpec(preset="small", seed=1)
+        report = run_sweep(
+            [slow], store=ResultStore(tmp_path), workers=1, timeout=0.05
+        )
+        assert report.failures == 1
+        record = report.records[slow.job_id]
+        assert record["status"] == "timeout"
+        assert not ResultStore(tmp_path).has(slow.job_id)
+
+    def test_duplicate_jobs_run_once_serial_and_parallel(self, tmp_path):
+        job = mini_jobs(1)[0]
+        serial = run_sweep([job, job], store=None, workers=1)
+        assert serial.executed == 1
+        assert serial.total == 1
+        # Two distinct jobs plus a duplicate keeps todo > 1, so this
+        # genuinely exercises the worker pool, not the serial shortcut.
+        first, second = mini_jobs(2)
+        parallel = run_sweep(
+            [first, second, first], store=ResultStore(tmp_path), workers=2
+        )
+        assert parallel.executed == 2
+        assert parallel.total == 2
+        assert parallel.failures == 0
+
+
+class TestCli:
+    CLI_MINI = [
+        "--duration-days", "3", "--num-urls", "4", "--num-vantage-points", "5",
+    ]
+
+    def test_sweep_resume_list_report(self, tmp_path, capsys):
+        store = str(tmp_path)
+        sweep_args = [
+            "--store", store, "sweep", "--name", "clidemo",
+            "--preset", "tiny", "--num-seeds", "2", "--churn", "both",
+            "--workers", "2", *self.CLI_MINI,
+        ]
+        assert main(sweep_args) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs" in out
+        assert "4 executed" in out
+
+        # Re-running the same sweep is pure cache hits.
+        assert main(sweep_args) == 0
+        out = capsys.readouterr().out
+        assert "4 cache hits" in out
+        assert "0 executed" in out
+
+        # Simulated interruption: delete one record, resume fills it in.
+        record_store = ResultStore(tmp_path)
+        record_store.path_for(record_store.job_ids()[0]).unlink()
+        assert main(["--store", store, "resume", "--name", "clidemo"]) == 0
+        out = capsys.readouterr().out
+        assert "3/4 done, 1 to run" in out
+        assert "1 executed" in out
+
+        assert main(["--store", store, "list"]) == 0
+        assert "4/4" in capsys.readouterr().out
+
+        assert main(["--store", store, "report", "--name", "clidemo"]) == 0
+        out = capsys.readouterr().out
+        assert "4 jobs (4 ok, 0 failed)" in out
+
+    def test_dry_run_prints_plan_only(self, tmp_path, capsys):
+        assert main([
+            "--store", str(tmp_path), "sweep", "--preset", "tiny",
+            "--num-seeds", "8", "--dry-run",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "8 jobs" in out
+        assert ResultStore(tmp_path).job_ids() == []
+
+    def test_resume_unknown_sweep_errors(self, tmp_path, capsys):
+        assert main(["--store", str(tmp_path), "resume", "--name", "ghost"]) == 2
+        assert "no sweep named" in capsys.readouterr().err
+
+    def test_path_unsafe_name_rejected_before_running(self, tmp_path, capsys):
+        code = main([
+            "--store", str(tmp_path), "sweep", "--preset", "tiny",
+            "--name", "../escape", *self.CLI_MINI,
+        ])
+        assert code == 2
+        assert "sweep name" in capsys.readouterr().err
+        assert ResultStore(tmp_path).job_ids() == []
+
+    def test_default_names_differ_per_grid(self, tmp_path, capsys):
+        base = ["--store", str(tmp_path), "sweep", "--preset", "tiny",
+                "--dry-run", *self.CLI_MINI]
+        assert main(base) == 0
+        first = capsys.readouterr().out.splitlines()[0]
+        assert main(base + ["--num-seeds", "2"]) == 0
+        second = capsys.readouterr().out.splitlines()[0]
+        assert first != second  # different grids → different default names
+
+    def test_overwriting_manifest_with_new_grid_warns(self, tmp_path, capsys):
+        base = ["--store", str(tmp_path), "sweep", "--preset", "tiny",
+                "--name", "clash", *self.CLI_MINI]
+        assert main(base) == 0
+        capsys.readouterr()
+        assert main(base + ["--num-seeds", "2"]) == 0
+        assert "warning: replacing manifest 'clash'" in capsys.readouterr().out

@@ -1,0 +1,143 @@
+"""Sweep/job spec expansion, identity, and materialization."""
+
+import pytest
+
+from repro.anomaly import Anomaly
+from repro.runner.spec import CHURN_MODES, JobSpec, SweepSpec
+from repro.util.timeutil import DAY, Granularity
+
+
+def mini_sweep(**overrides) -> SweepSpec:
+    base = dict(
+        name="t",
+        preset="tiny",
+        num_seeds=2,
+        churn_modes=CHURN_MODES,
+        granularity_sets=(("day",), ("day", "week")),
+        solution_caps=(8, 16),
+    )
+    base.update(overrides)
+    return SweepSpec(**base)
+
+
+class TestJobSpec:
+    def test_job_id_is_stable_and_content_addressed(self):
+        a = JobSpec(preset="tiny", seed=3)
+        b = JobSpec(preset="tiny", seed=3)
+        assert a.job_id == b.job_id
+        assert a.job_id != JobSpec(preset="tiny", seed=4).job_id
+        assert a.job_id != JobSpec(preset="tiny", seed=3, churn="without").job_id
+
+    def test_round_trip_through_dict(self):
+        job = JobSpec(
+            preset="small",
+            seed=11,
+            churn="without",
+            granularities=("day", "month"),
+            anomalies=("dns", "rst"),
+            solution_cap=8,
+            duration_days=5,
+            schedule="sweep",
+        )
+        rebuilt = JobSpec.from_dict(job.to_dict())
+        assert rebuilt == job
+        assert rebuilt.job_id == job.job_id
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JobSpec(preset="nope")
+        with pytest.raises(ValueError):
+            JobSpec(churn="maybe")
+        with pytest.raises(ValueError):
+            JobSpec(granularities=())
+        with pytest.raises(ValueError):
+            JobSpec(granularities=("fortnight",))
+        with pytest.raises(ValueError):
+            JobSpec(anomalies=("quic",))
+
+    def test_scenario_overrides_applied(self):
+        job = JobSpec(
+            preset="tiny",
+            seed=1,
+            duration_days=3,
+            num_urls=4,
+            num_vantage_points=5,
+            schedule="sweep",
+            sweeps_per_pair_per_day=1.5,
+        )
+        config = job.scenario_config()
+        assert config.duration == 3 * DAY
+        assert config.num_urls == 4
+        assert config.num_vantage_points == 5
+        platform = config.platform_config()
+        assert platform.schedule == "sweep"
+        assert platform.sweeps_per_pair_per_day == 1.5
+        assert platform.end == 3 * DAY
+
+    def test_pipeline_config_mapping(self):
+        job = JobSpec(
+            preset="tiny",
+            granularities=("week",),
+            anomalies=("dns",),
+            solution_cap=4,
+            skip_anomaly_free=True,
+        )
+        config = job.pipeline_config()
+        assert config.granularities == (Granularity.WEEK,)
+        assert config.anomalies == (Anomaly.DNS,)
+        assert config.solution_cap == 4
+        assert config.skip_anomaly_free_problems is True
+        # Empty anomaly tuple means the five ICLab detectors.
+        assert JobSpec(preset="tiny").pipeline_config().anomalies == Anomaly.all()
+
+
+class TestSweepSpec:
+    def test_grid_expansion_size_and_uniqueness(self):
+        spec = mini_sweep()
+        jobs = spec.expand()
+        assert len(jobs) == spec.size == 2 * 2 * 2 * 2
+        assert len({job.job_id for job in jobs}) == len(jobs)
+
+    def test_expansion_is_deterministic(self):
+        assert mini_sweep().expand() == mini_sweep().expand()
+
+    def test_repeated_axis_values_collapse(self):
+        doubled = mini_sweep(churn_modes=("with", "with"))
+        single = mini_sweep(churn_modes=("with",))
+        assert doubled.expand() == single.expand()
+        assert doubled.size == single.size
+
+    def test_seeds_derive_from_master_seed(self):
+        assert mini_sweep().seeds() == mini_sweep().seeds()
+        assert mini_sweep(master_seed=1).seeds() != mini_sweep().seeds()
+        seeds = mini_sweep(num_seeds=8).seeds()
+        assert len(set(seeds)) == 8
+
+    def test_overrides_propagate_to_every_job(self):
+        spec = mini_sweep(duration_days=3, num_urls=4)
+        for job in spec.expand():
+            assert job.duration_days == 3
+            assert job.num_urls == 4
+
+    def test_round_trip_through_dict(self):
+        spec = mini_sweep(anomaly_sets=(("dns",), ()), schedule="sweep")
+        rebuilt = SweepSpec.from_dict(spec.to_dict())
+        assert rebuilt == spec
+        assert rebuilt.expand() == spec.expand()
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mini_sweep(name="")
+        with pytest.raises(ValueError):
+            mini_sweep(num_seeds=0)
+        with pytest.raises(ValueError):
+            mini_sweep(churn_modes=())
+
+    def test_path_unsafe_names_rejected(self):
+        for name in ("../escape", "a/b", ".hidden", "sp ace"):
+            with pytest.raises(ValueError):
+                mini_sweep(name=name)
+
+    def test_content_id_tracks_the_grid_not_the_name(self):
+        assert mini_sweep().content_id == mini_sweep(name="other").content_id
+        assert mini_sweep().content_id != mini_sweep(num_seeds=3).content_id
