@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test sweep-smoke bench clean
+.PHONY: test sweep-smoke bench bench-json clean
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -16,6 +16,17 @@ sweep-smoke:
 # bench_*.py does not match pytest's default file pattern; list the files.
 bench:
 	$(PYTHON) -m pytest benchmarks/bench_*.py -q
+
+# The perf trajectory: run the headline + micro benches under
+# pytest-benchmark and append a numbered BENCH_<n>.json snapshot (n =
+# number of existing snapshots).  Compare snapshots across PRs to catch
+# regressions; CI runs this non-blocking.
+bench-json:
+	@n=$$(ls BENCH_*.json 2>/dev/null | wc -l); \
+	echo "writing BENCH_$$n.json"; \
+	$(PYTHON) -m pytest benchmarks/bench_headline.py benchmarks/bench_micro.py \
+	    -q --benchmark-json=BENCH_$$n.json && \
+	$(PYTHON) -c "import json;d=json.load(open('BENCH_$$n.json'));print('\n'.join(f\"{b['name']}: {b['stats']['mean']*1000:.2f} ms (mean)\" for b in d['benchmarks']))"
 
 clean:
 	rm -rf .sweep-smoke .repro-results .pytest_cache build *.egg-info

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.iclab.measurement import Measurement
 from repro.topology.ip2as import IpToAsDatabase
@@ -76,13 +76,14 @@ def convert_traceroute(
     """
     if traceroute.error:
         return None, InconclusiveReason.TRACEROUTE_ERROR
+    resolve = ip2as.resolver_at(timestamp)
     mapped: List[Optional[int]] = []
     any_mapped = False
     for hop in traceroute.hops:
         if hop.address is None:
             mapped.append(None)
             continue
-        asn = ip2as.lookup(hop.address, timestamp)
+        asn = resolve(hop.address)
         mapped.append(asn)
         if asn is not None:
             any_mapped = True
@@ -114,14 +115,39 @@ def convert_traceroute(
 def convert_measurement(
     measurement: Measurement,
     ip2as: IpToAsDatabase,
+    cache: Optional[Dict] = None,
 ) -> AsPathConversion:
-    """Convert a measurement's three traceroutes to one AS-level path."""
+    """Convert a measurement's three traceroutes to one AS-level path.
+
+    ``cache`` (optional, supplied by batch converters) memoizes
+    per-traceroute conversions: a traceroute's outcome is a pure function
+    of its hop-address sequence, its error/reached flags, and the IP-to-AS
+    epoch in force — and loss-free runs over popular router paths repeat
+    those inputs thousands of times per campaign.
+    """
     paths: List[Tuple[int, ...]] = []
     reasons: List[InconclusiveReason] = []
+    epoch_key = (
+        ip2as.epoch_index_at(measurement.timestamp) if cache is not None else 0
+    )
     for traceroute in measurement.traceroutes:
-        path, reason = convert_traceroute(
-            traceroute, ip2as, measurement.timestamp
-        )
+        if cache is not None:
+            signature = (
+                tuple(hop.address for hop in traceroute.hops),
+                traceroute.error,
+                traceroute.destination_reached,
+                epoch_key,
+            )
+            converted = cache.get(signature)
+            if converted is None:
+                converted = cache[signature] = convert_traceroute(
+                    traceroute, ip2as, measurement.timestamp
+                )
+            path, reason = converted
+        else:
+            path, reason = convert_traceroute(
+                traceroute, ip2as, measurement.timestamp
+            )
         if path is None:
             assert reason is not None
             reasons.append(reason)

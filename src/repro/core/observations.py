@@ -84,26 +84,40 @@ def build_observations(
     AS path.
     """
     observations: List[Observation] = []
+    append = observations.append
     stats = DiscardStats()
+    conversion_cache: Dict = {}
+    # Observations are this loop's dominant allocation (one per anomaly
+    # per converted measurement); bypass the dataclass __init__ and write
+    # the instance dict directly.  The skipped __post_init__ only checks
+    # path non-emptiness, which conversion already guarantees.
+    new_observation = Observation.__new__
     for measurement in dataset:
         stats.total += 1
-        conversion = convert_measurement(measurement, ip2as)
+        conversion = convert_measurement(
+            measurement, ip2as, cache=conversion_cache
+        )
         if not conversion.ok:
             assert conversion.reason is not None
             stats.record_discard(conversion.reason)
             continue
         stats.converted += 1
+        detected_by_anomaly = measurement.anomalies
+        url = measurement.url
+        as_path = conversion.as_path
+        timestamp = measurement.timestamp
+        measurement_id = measurement.measurement_id
         for anomaly in anomalies:
-            observations.append(
-                Observation(
-                    url=measurement.url,
-                    anomaly=anomaly,
-                    detected=measurement.detected(anomaly),
-                    as_path=conversion.as_path,
-                    timestamp=measurement.timestamp,
-                    measurement_id=measurement.measurement_id,
-                )
+            observation = new_observation(Observation)
+            observation.__dict__.update(
+                url=url,
+                anomaly=anomaly,
+                detected=detected_by_anomaly[anomaly],
+                as_path=as_path,
+                timestamp=timestamp,
+                measurement_id=measurement_id,
             )
+            append(observation)
     return observations, stats
 
 

@@ -28,13 +28,16 @@ from repro.core.observations import (
 from repro.core.problem import (
     DEFAULT_SOLUTION_CAP,
     ProblemSolution,
+    ProblemSolveCache,
     SolutionStatus,
+    SolveStats,
     TomographyProblem,
 )
 from repro.core.reduction import ReductionStats, reduction_of
 from repro.core.splitting import ProblemKey, split_observations
 from repro.iclab.dataset import Dataset
 from repro.topology.ip2as import IpToAsDatabase
+from repro.util.profiling import StageTimer, maybe_stage
 from repro.util.timeutil import Granularity, TimeWindow
 
 
@@ -53,6 +56,11 @@ class PipelineConfig:
     # ^ when True, problems without any detected anomaly (whose solution is
     #   trivially the unique all-False assignment) are not solved; Figure 1
     #   counts them, so the default keeps them.
+    optimized: bool = True
+    # ^ when True (the default), structurally identical CNFs are solved
+    #   once per run and propagation-decided problems skip solver
+    #   construction.  False forces the reference per-problem solve —
+    #   slower, identical output; the determinism guard runs both.
 
 
 @dataclass
@@ -332,25 +340,32 @@ class LocalizationPipeline:
         ip2as: IpToAsDatabase,
         country_by_asn: Dict[int, str],
         config: PipelineConfig = PipelineConfig(),
+        timer: Optional[StageTimer] = None,
     ) -> None:
         self.ip2as = ip2as
         self.country_by_asn = dict(country_by_asn)
         self.config = config
+        self.timer = timer
+        self.last_solve_stats: Optional[SolveStats] = None
+        # ^ counters from the most recent run (perf reports, regression
+        #   tests); None before any run or after a non-optimized run.
 
     # -- public entry points ---------------------------------------------
 
     def run(self, dataset: Dataset) -> PipelineResult:
         """Localize censors from a dataset."""
-        observations, discard_stats = build_observations(
-            dataset, self.ip2as, anomalies=self.config.anomalies
-        )
+        with maybe_stage(self.timer, "pipeline.observations"):
+            observations, discard_stats = build_observations(
+                dataset, self.ip2as, anomalies=self.config.anomalies
+            )
         return self.run_from_observations(observations, discard_stats)
 
     def run_without_churn(self, dataset: Dataset) -> PipelineResult:
         """The Figure-4 ablation: drop every churn-created path."""
-        observations, discard_stats = build_observations(
-            dataset, self.ip2as, anomalies=self.config.anomalies
-        )
+        with maybe_stage(self.timer, "pipeline.observations"):
+            observations, discard_stats = build_observations(
+                dataset, self.ip2as, anomalies=self.config.anomalies
+            )
         return self.run_from_observations(
             first_path_only(observations), discard_stats
         )
@@ -371,26 +386,44 @@ class LocalizationPipeline:
         """
         if discard_stats is None:
             discard_stats = DiscardStats()
-        groups = split_observations(
-            observations, granularities=self.config.granularities
-        )
-        solutions: List[ProblemSolution] = []
-        for key, group in groups.items():
-            if self.config.skip_anomaly_free_problems and not any(
-                observation.detected for observation in group
-            ):
-                continue
-            problem = TomographyProblem(
-                key, group, solution_cap=self.config.solution_cap
+        timer = self.timer
+        with maybe_stage(timer, "pipeline.split"):
+            groups = split_observations(
+                observations, granularities=self.config.granularities
             )
-            solutions.append(problem.solve())
-        censor_report = identify_censors(
-            solutions, country_by_asn=self.country_by_asn
-        )
-        leakage_report = identify_leakage(
-            solutions, groups, self.country_by_asn
-        )
-        reduction_stats = reduction_of(solutions)
+        # The problems were grouped by this very pipeline, so per-problem
+        # membership re-validation is skipped; external callers of
+        # TomographyProblem still get the checks.
+        cache = ProblemSolveCache() if self.config.optimized else None
+        solutions: List[ProblemSolution] = []
+        with maybe_stage(timer, "pipeline.solve"):
+            for key, group in groups.items():
+                if self.config.skip_anomaly_free_problems and not any(
+                    observation.detected for observation in group
+                ):
+                    continue
+                problem = TomographyProblem(
+                    key,
+                    group,
+                    solution_cap=self.config.solution_cap,
+                    validate=False,
+                )
+                if cache is not None:
+                    solutions.append(problem.solve(cache))
+                else:
+                    solutions.append(problem.solve_reference())
+        self.last_solve_stats = cache.stats if cache is not None else None
+        if timer is not None and cache is not None:
+            for name, value in cache.stats.as_dict().items():
+                timer.count(f"solve.{name}", value)
+        with maybe_stage(timer, "pipeline.reports"):
+            censor_report = identify_censors(
+                solutions, country_by_asn=self.country_by_asn
+            )
+            leakage_report = identify_leakage(
+                solutions, groups, self.country_by_asn
+            )
+            reduction_stats = reduction_of(solutions)
         return PipelineResult(
             solutions=solutions,
             observations_by_key=groups,

@@ -10,13 +10,36 @@ positive clauses).  Undecided residuals go to the CDCL solver: model
 enumeration (with a cap) yields the paper's 0 / 1 / 2+ classification, and
 backbone extraction yields the exact True/False/free status of every AS —
 "False in all returned solutions" marks definite non-censors.
+
+Two layers of optimization keep a many-thousand-problem batch cheap while
+producing *identical* results to the straightforward path (which is kept
+as :meth:`TomographyProblem.solve_reference` and pinned by tests):
+
+- **Structural deduplication.**  A problem's solution depends only on its
+  set of censored and clean paths, not on its (URL, anomaly, window) key.
+  :class:`ProblemSolveCache` memoizes solutions by a canonical content
+  signature, so each structurally unique CNF is solved once per batch.
+- **Set-based propagation fast path.**  Because all non-unit clauses are
+  purely positive, the unit-propagation closure reduces to set algebra —
+  no CNF, clause objects, or CDCL solver are constructed unless a genuine
+  residual search space remains.  When the residual's model enumeration
+  completes under the cap, the backbone is derived from the enumerated
+  models instead of a second solver run.
 """
 
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.core.observations import Observation
 from repro.core.splitting import ProblemKey
@@ -26,6 +49,13 @@ from repro.sat.enumerate import enumerate_models
 from repro.sat.simplify import propagate_units
 
 DEFAULT_SOLUTION_CAP = 16
+
+# A problem's canonical content: (solution cap, sorted unique censored
+# paths, sorted unique clean paths).  Everything a solution contains —
+# status, counts, censor/eliminated sets — is a pure function of this.
+ProblemSignature = Tuple[
+    int, Tuple[Tuple[int, ...], ...], Tuple[Tuple[int, ...], ...]
+]
 
 
 class SolutionStatus(enum.Enum):
@@ -74,6 +104,60 @@ class ProblemSolution:
         return len(self.eliminated) / len(self.observed_ases)
 
 
+@dataclass
+class SolveStats:
+    """Counters over one batch of solves (perf reports, regression tests)."""
+
+    problems: int = 0
+    signature_hits: int = 0      # solved by the structural memo alone
+    unique_cnfs: int = 0         # structurally distinct formulas solved
+    propagation_decided: int = 0  # closed by the set-based fast path
+    cdcl_solves: int = 0         # residuals that needed the CDCL solver
+    backbones_from_models: int = 0  # backbones derived without a 2nd solver
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "problems": self.problems,
+            "signature_hits": self.signature_hits,
+            "unique_cnfs": self.unique_cnfs,
+            "propagation_decided": self.propagation_decided,
+            "cdcl_solves": self.cdcl_solves,
+            "backbones_from_models": self.backbones_from_models,
+        }
+
+
+class ProblemSolveCache:
+    """Shared state for solving a batch of problems.
+
+    Holds the signature → solution memo plus reusable scratch sets for the
+    propagation fast path, so per-problem work allocates as little as
+    possible.  One cache instance serves one pipeline run; it must not be
+    shared across runs with different observation semantics (the cache key
+    includes the solution cap, so differing caps are safe).
+    """
+
+    def __init__(self) -> None:
+        self._solutions: Dict[ProblemSignature, ProblemSolution] = {}
+        self.stats = SolveStats()
+        # Scratch reused across problems: cleared, never reallocated.
+        self._scratch_false: Set[int] = set()
+        self._scratch_true: Set[int] = set()
+
+    def lookup(self, signature: ProblemSignature) -> Optional[ProblemSolution]:
+        return self._solutions.get(signature)
+
+    def store(
+        self, signature: ProblemSignature, solution: ProblemSolution
+    ) -> None:
+        self._solutions[signature] = solution
+
+    def borrow_scratch(self) -> Tuple[Set[int], Set[int]]:
+        """Two cleared scratch sets (false-forced, true-forced)."""
+        self._scratch_false.clear()
+        self._scratch_true.clear()
+        return self._scratch_false, self._scratch_true
+
+
 class TomographyProblem:
     """Builds and solves the CNF for one (URL, anomaly, window) group."""
 
@@ -82,18 +166,65 @@ class TomographyProblem:
         key: ProblemKey,
         observations: Sequence[Observation],
         solution_cap: int = DEFAULT_SOLUTION_CAP,
+        validate: bool = True,
     ) -> None:
         if not observations:
             raise ValueError("a problem needs at least one observation")
-        for observation in observations:
-            if observation.url != key.url or observation.anomaly != key.anomaly:
-                raise ValueError("observation does not belong to this problem")
-            if not key.window.contains(observation.timestamp):
-                raise ValueError("observation outside the problem window")
+        if validate:
+            for observation in observations:
+                if observation.url != key.url or observation.anomaly != key.anomaly:
+                    raise ValueError("observation does not belong to this problem")
+                if not key.window.contains(observation.timestamp):
+                    raise ValueError("observation outside the problem window")
         self.key = key
-        self.observations = list(observations)
+        # validate=False is the batch fast path (the pipeline owns the
+        # group lists and never mutates them) — skip the defensive copy.
+        self.observations = list(observations) if validate else observations
         self.solution_cap = solution_cap
         self._builder: Optional[CNFBuilder] = None
+        self._unique_paths: Optional[
+            Tuple[List[Tuple[int, ...]], List[Tuple[int, ...]]]
+        ] = None
+
+    # -- structure ----------------------------------------------------------
+
+    def unique_paths(self) -> Tuple[List[Tuple[int, ...]], List[Tuple[int, ...]]]:
+        """(censored paths, clean paths), deduplicated in first-seen order.
+
+        Repeated identical measurements add no information; this is the
+        same deduplication :meth:`build_cnf` applies, shared so the fast
+        path and the CNF construction agree exactly.
+        """
+        if self._unique_paths is None:
+            positive: List[Tuple[int, ...]] = []
+            negative: List[Tuple[int, ...]] = []
+            seen_positive: Set[Tuple[int, ...]] = set()
+            seen_negative: Set[Tuple[int, ...]] = set()
+            for observation in self.observations:
+                path = observation.as_path
+                if observation.detected:
+                    if path not in seen_positive:
+                        seen_positive.add(path)
+                        positive.append(path)
+                elif path not in seen_negative:
+                    seen_negative.add(path)
+                    negative.append(path)
+            self._unique_paths = (positive, negative)
+        return self._unique_paths
+
+    def signature(self) -> ProblemSignature:
+        """Canonical content signature for structural deduplication.
+
+        Path *sets* (not their observation order) determine the solution,
+        so the signature sorts them; the solution cap participates because
+        it bounds ``num_solutions``.
+        """
+        positive, negative = self.unique_paths()
+        return (
+            self.solution_cap,
+            tuple(sorted(positive)),
+            tuple(sorted(negative)),
+        )
 
     # -- CNF construction ---------------------------------------------------
 
@@ -122,8 +253,229 @@ class TomographyProblem:
 
     # -- solving ---------------------------------------------------------------
 
-    def solve(self) -> ProblemSolution:
-        """Solve the CNF and classify per the paper's §3.2."""
+    def solve(self, cache: Optional[ProblemSolveCache] = None) -> ProblemSolution:
+        """Solve the CNF and classify per the paper's §3.2.
+
+        With a :class:`ProblemSolveCache`, structurally identical problems
+        are solved once; decided-by-propagation problems skip CNF and
+        solver construction entirely.  Results are identical to
+        :meth:`solve_reference` (the test suite pins this).
+        """
+        if cache is None:
+            return self._solve_fast(None)
+        cache.stats.problems += 1
+        signature = self.signature()
+        memoized = cache.lookup(signature)
+        if memoized is not None:
+            cache.stats.signature_hits += 1
+            # Hand-rolled copy-with-new-key: dataclasses.replace() walks
+            # fields() per call, visible at tens of thousands of hits.
+            return ProblemSolution(
+                key=self.key,
+                status=memoized.status,
+                num_solutions=memoized.num_solutions,
+                capped=memoized.capped,
+                observed_ases=memoized.observed_ases,
+                censors=memoized.censors,
+                potential_censors=memoized.potential_censors,
+                eliminated=memoized.eliminated,
+                clause_count=memoized.clause_count,
+                positive_clause_count=memoized.positive_clause_count,
+            )
+        cache.stats.unique_cnfs += 1
+        solution = self._solve_fast(cache)
+        cache.store(signature, solution)
+        return solution
+
+    def _solve_fast(self, cache: Optional[ProblemSolveCache]) -> ProblemSolution:
+        positive_paths, negative_paths = self.unique_paths()
+        # Every observation's path is one of the unique paths, so the
+        # observed-AS set is their union — no need to rescan the raw
+        # observation list.
+        observed_set: Set[int] = set()
+        for path in positive_paths:
+            observed_set.update(path)
+        for path in negative_paths:
+            observed_set.update(path)
+        observed: FrozenSet[int] = frozenset(observed_set)
+        # Clause/variable bookkeeping mirroring build_cnf: one positive
+        # clause per censored path, one negative unit per AS of each clean
+        # path (duplicates within a path collapse inside a positive clause
+        # but repeat as units, exactly like CNFBuilder).
+        clause_count = len(positive_paths) + sum(
+            len(path) for path in negative_paths
+        )
+        positive_count = len(positive_paths)
+
+        if cache is not None:
+            forced_false, forced_true = cache.borrow_scratch()
+        else:
+            forced_false, forced_true = set(), set()
+        for path in negative_paths:
+            forced_false.update(path)
+
+        # Unit-propagation closure by set algebra.  All multi-literal
+        # clauses are purely positive, so falsification only ever comes
+        # from the negative units, and a forced-True AS can only *satisfy*
+        # other clauses — one reduction pass plus one satisfaction pass is
+        # the fixpoint.
+        undecided: List[Tuple[int, ...]] = []
+        for path in positive_paths:
+            alive = tuple(
+                dict.fromkeys(a for a in path if a not in forced_false)
+            )
+            if not alive:
+                # A censored path whose every AS is exonerated: UNSAT
+                # (noise, or a policy change mid-window).
+                if cache is not None:
+                    cache.stats.propagation_decided += 1
+                return ProblemSolution(
+                    key=self.key,
+                    status=SolutionStatus.UNSATISFIABLE,
+                    num_solutions=0,
+                    capped=False,
+                    observed_ases=observed,
+                    clause_count=clause_count,
+                    positive_clause_count=positive_count,
+                )
+            if len(alive) == 1:
+                forced_true.add(alive[0])
+            else:
+                undecided.append(alive)
+        residual = [
+            clause
+            for clause in undecided
+            if not any(asn in forced_true for asn in clause)
+        ]
+
+        if not residual:
+            names: Set[int] = set(forced_false)
+            for path in positive_paths:
+                names.update(path)
+            if cache is not None:
+                cache.stats.propagation_decided += 1
+            free_count = len(names) - len(forced_false) - len(forced_true)
+            if not free_count:
+                return ProblemSolution(
+                    key=self.key,
+                    status=SolutionStatus.UNIQUE,
+                    num_solutions=1,
+                    capped=False,
+                    observed_ases=observed,
+                    censors=frozenset(forced_true),
+                    eliminated=frozenset(forced_false),
+                    clause_count=clause_count,
+                    positive_clause_count=positive_count,
+                )
+            # Unconstrained variables (only ever in satisfied clauses)
+            # make the solution non-unique.
+            count = min(self.solution_cap, 2 ** free_count)
+            capped = 2 ** free_count > self.solution_cap
+            free = names - forced_false - forced_true
+            return ProblemSolution(
+                key=self.key,
+                status=SolutionStatus.MULTIPLE,
+                num_solutions=count,
+                capped=capped,
+                observed_ases=observed,
+                potential_censors=frozenset(forced_true) | frozenset(free),
+                eliminated=frozenset(forced_false),
+                clause_count=clause_count,
+                positive_clause_count=positive_count,
+            )
+
+        # Genuine residual search space: build the real CNF and enumerate.
+        if cache is not None:
+            cache.stats.cdcl_solves += 1
+        return self._solve_residual(
+            observed, clause_count, positive_count, cache
+        )
+
+    def _solve_residual(
+        self,
+        observed: FrozenSet[int],
+        clause_count: int,
+        positive_count: int,
+        cache: Optional[ProblemSolveCache],
+    ) -> ProblemSolution:
+        """Classify via CDCL enumeration (and backbone when MULTIPLE)."""
+        cnf, builder = self.build_cnf()
+        enumeration = enumerate_models(cnf, cap=self.solution_cap)
+        if enumeration.unsatisfiable:
+            return ProblemSolution(
+                key=self.key,
+                status=SolutionStatus.UNSATISFIABLE,
+                num_solutions=0,
+                capped=False,
+                observed_ases=observed,
+                clause_count=clause_count,
+                positive_clause_count=positive_count,
+            )
+        if enumeration.unique:
+            named = builder.decode(enumeration.models[0])
+            return ProblemSolution(
+                key=self.key,
+                status=SolutionStatus.UNIQUE,
+                num_solutions=1,
+                capped=False,
+                observed_ases=observed,
+                censors=frozenset(a for a, value in named.items() if value),
+                eliminated=frozenset(
+                    a for a, value in named.items() if not value
+                ),
+                clause_count=clause_count,
+                positive_clause_count=positive_count,
+            )
+        # Multiple solutions: exact always-True / always-False sets.  A
+        # completed (uncapped) enumeration already holds *every* model, so
+        # the backbone falls out of the model list without constructing a
+        # second solver; a capped enumeration needs the assumption-probing
+        # backbone for exactness.
+        if not enumeration.capped:
+            if cache is not None:
+                cache.stats.backbones_from_models += 1
+            variables = sorted(cnf.variables())
+            always_true = {
+                var
+                for var in variables
+                if all(model.get(var) is True for model in enumeration.models)
+            }
+            always_false = {
+                var
+                for var in variables
+                if all(model.get(var) is False for model in enumeration.models)
+            }
+        else:
+            bb = backbone(cnf)
+            always_true = bb.always_true
+            always_false = bb.always_false
+        always_false_named = frozenset(
+            builder.name_of(var) for var in always_false
+        )
+        always_true_named = frozenset(
+            builder.name_of(var) for var in always_true
+        )
+        potential = frozenset(builder.names) - always_false_named
+        return ProblemSolution(
+            key=self.key,
+            status=SolutionStatus.MULTIPLE,
+            num_solutions=enumeration.count,
+            capped=enumeration.capped,
+            observed_ases=observed,
+            censors=always_true_named,  # certain even among many models
+            potential_censors=potential,
+            eliminated=always_false_named,
+            clause_count=clause_count,
+            positive_clause_count=positive_count,
+        )
+
+    def solve_reference(self) -> ProblemSolution:
+        """The straightforward solve: build the CNF, propagate, enumerate.
+
+        This is the original implementation, kept verbatim as the ground
+        truth the optimized :meth:`solve` is tested against (the
+        determinism guard asserts equal pipeline output both ways).
+        """
         cnf, builder = self.build_cnf()
         observed: FrozenSet[int] = frozenset(
             asn for observation in self.observations for asn in observation.as_path
@@ -247,6 +599,8 @@ class TomographyProblem:
 __all__ = [
     "SolutionStatus",
     "ProblemSolution",
+    "ProblemSolveCache",
+    "SolveStats",
     "TomographyProblem",
     "ProblemKey",
     "DEFAULT_SOLUTION_CAP",

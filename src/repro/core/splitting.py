@@ -13,7 +13,7 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 
 from repro.anomaly import Anomaly
 from repro.core.observations import Observation
-from repro.util.timeutil import Granularity, TimeWindow, window_of
+from repro.util.timeutil import Granularity, TimeWindow
 
 
 @dataclass(frozen=True)
@@ -40,18 +40,52 @@ def split_observations(
 
     Every observation lands in one group per granularity (a day observation
     also belongs to its week, month, and year problems).
+
+    Grouping runs once per observation per granularity — hundreds of
+    thousands of bucket operations on a paper-shaped run — so the inner
+    loop works on plain tuples and one window object per distinct bucket;
+    the (hash-heavier) :class:`ProblemKey` is built once per group.
     """
-    groups: Dict[ProblemKey, List[Observation]] = {}
+    sizes = list(enumerate(granularity.seconds for granularity in granularities))
+    windows: Dict[Tuple[int, int], TimeWindow] = {}
+    # Buckets nest by anomaly so the (Python-level) enum hash is paid once
+    # per observation instead of once per bucket operation; inner keys are
+    # C-hashed primitives.
+    by_anomaly: Dict[Anomaly, Dict[Tuple[str, int, int], List[Observation]]] = {}
+    # Bucket creation order is part of the contract: downstream consumers
+    # (e.g. reduction fractions) follow the groups' insertion order, which
+    # must match first-observation order exactly.
+    created: List[Tuple[Anomaly, str, int, int]] = []
     for observation in observations:
-        for granularity in granularities:
-            key = ProblemKey(
-                url=observation.url,
-                anomaly=observation.anomaly,
-                granularity=granularity,
-                window=window_of(observation.timestamp, granularity),
-            )
-            groups.setdefault(key, []).append(observation)
-    return groups
+        url = observation.url
+        timestamp = observation.timestamp
+        if timestamp < 0:
+            raise ValueError(f"negative timestamp: {timestamp}")
+        anomaly = observation.anomaly
+        raw = by_anomaly.get(anomaly)
+        if raw is None:
+            raw = by_anomaly[anomaly] = {}
+        for index, size in sizes:
+            start = timestamp - timestamp % size
+            bucket = (url, index, start)
+            group = raw.get(bucket)
+            if group is None:
+                group = raw[bucket] = []
+                created.append((anomaly, url, index, start))
+                key = (index, start)
+                if key not in windows:
+                    windows[key] = TimeWindow(start, start + size)
+            group.append(observation)
+    granularity_list = list(granularities)
+    return {
+        ProblemKey(
+            url=url,
+            anomaly=anomaly,
+            granularity=granularity_list[index],
+            window=windows[(index, start)],
+        ): by_anomaly[anomaly][(url, index, start)]
+        for anomaly, url, index, start in created
+    }
 
 
 def interesting_groups(

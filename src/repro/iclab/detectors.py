@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.anomaly import Anomaly
-from repro.censorship.blockpage import BLOCKPAGE_FINGERPRINTS
+from repro.censorship.blockpage import looks_like_blockpage
 from repro.netsim.packets import HttpResponse, PacketCapture
 from repro.netsim.session import DnsSessionResult, HttpSessionResult
 
@@ -101,6 +101,24 @@ def detect_rst_anomaly(capture: PacketCapture) -> bool:
     return any(packet.is_rst for packet in capture.server_packets())
 
 
+# Fingerprint scans are O(len(body) * corpus); the bodies scanned are the
+# platform's cached page objects (one per URL, plus a few blockpages), so a
+# body-keyed memo turns repeat scans into one dict probe.  CPython caches
+# str hashes and dict lookup short-circuits on pointer equality, making the
+# hit path O(1) for the shared string objects.  Bounded defensively.
+_FINGERPRINT_SCAN_CACHE: Dict[str, bool] = {}
+_FINGERPRINT_SCAN_CACHE_MAX = 4096
+
+
+def _body_matches_fingerprint(body: str) -> bool:
+    cached = _FINGERPRINT_SCAN_CACHE.get(body)
+    if cached is None:
+        if len(_FINGERPRINT_SCAN_CACHE) >= _FINGERPRINT_SCAN_CACHE_MAX:
+            _FINGERPRINT_SCAN_CACHE.clear()
+        cached = _FINGERPRINT_SCAN_CACHE[body] = looks_like_blockpage(body)
+    return cached
+
+
 def detect_blockpage(
     delivered: Optional[HttpResponse],
     baseline: HttpResponse,
@@ -113,7 +131,7 @@ def detect_blockpage(
     """
     if delivered is None:
         return False
-    if any(fingerprint in delivered.body for fingerprint in BLOCKPAGE_FINGERPRINTS):
+    if _body_matches_fingerprint(delivered.body):
         return True
     longer = max(delivered.body_length, baseline.body_length)
     if longer == 0:

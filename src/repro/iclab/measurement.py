@@ -16,6 +16,8 @@ from typing import Dict, FrozenSet, List, Optional, Tuple
 from repro.anomaly import Anomaly
 from repro.traceroute.simulate import Traceroute, TracerouteHop
 
+_REQUIRED_ANOMALIES = Anomaly.all()
+
 
 @dataclass(frozen=True)
 class Measurement:
@@ -38,9 +40,13 @@ class Measurement:
     def __post_init__(self) -> None:
         if self.timestamp < 0:
             raise ValueError("negative timestamp")
-        missing = [a for a in Anomaly.all() if a not in self.anomalies]
-        if missing:
-            raise ValueError(f"anomaly results missing for: {missing}")
+        anomalies = self.anomalies
+        for anomaly in _REQUIRED_ANOMALIES:
+            if anomaly not in anomalies:
+                missing = [
+                    a for a in _REQUIRED_ANOMALIES if a not in anomalies
+                ]
+                raise ValueError(f"anomaly results missing for: {missing}")
 
     def detected(self, anomaly: Anomaly) -> bool:
         """Whether the given anomaly was detected in this test."""

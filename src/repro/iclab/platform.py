@@ -14,7 +14,10 @@ reduced scale.
 
 from __future__ import annotations
 
+import math
+from bisect import bisect_right
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.censorship.deployment import CensorDeployment
@@ -35,7 +38,8 @@ from repro.topology.prefixes import PrefixAllocation
 from repro.traceroute.simulate import TracerouteParams, simulate_traceroute_triplet
 from repro.urls.testlist import TestUrl, UrlTestList
 from repro.util.ipv4 import parse_ipv4
-from repro.util.rng import DeterministicRNG
+from repro.util.profiling import StageTimer
+from repro.util.rng import DeterministicRNG, derive_seed
 from repro.util.timeutil import DAY
 
 _GOOGLE_DNS = parse_ipv4("8.8.8.8")
@@ -101,9 +105,16 @@ class ICLabPlatform:
         self.deployment = deployment
         self.vantage_points = list(vantage_points)
         self.config = config
+        self.timer: Optional[StageTimer] = None
         self._pages: Dict[str, HttpResponse] = {}
         self._router_paths: Dict[Tuple[int, ...], RouterPath] = {}
+        self._middleboxes: Dict[Tuple[int, ...], List[OnPathMiddlebox]] = {}
+        self._trace_plans: Dict = {}  # probe plans, scoped to this platform
         self._next_id = 0
+        # One Random instance reseeded per test: seeding fully resets the
+        # generator state, so the draw streams are identical to fresh
+        # construction at a fraction of the allocation cost.
+        self._test_rng = DeterministicRNG(0)
 
     # -- content -------------------------------------------------------------
 
@@ -136,11 +147,18 @@ class ICLabPlatform:
         return router_path
 
     def _middleboxes_on(self, router_path: RouterPath) -> List[OnPathMiddlebox]:
+        # The censor deployment is static for the platform's lifetime, so
+        # the on-path middlebox list is a pure function of the AS path and
+        # is cached alongside the expanded router path.
+        cached = self._middleboxes.get(router_path.as_path)
+        if cached is not None:
+            return cached
         out: List[OnPathMiddlebox] = []
         for asn in router_path.as_path:
             censor = self.deployment.censor_of(asn)
             if censor is not None:
                 out.append((censor, router_path.hops_to_asn(asn) - 1))
+        self._middleboxes[router_path.as_path] = out
         return out
 
     # -- running tests -------------------------------------------------------
@@ -154,8 +172,11 @@ class ICLabPlatform:
             return None
         router_path = self._router_path(tuple(as_path))
         middleboxes = self._middleboxes_on(router_path)
-        rng = DeterministicRNG(
-            self.config.seed, "test", vantage.asn, test_url.domain, timestamp
+        rng = self._test_rng
+        rng.seed(
+            derive_seed(
+                self.config.seed, "test", vantage.asn, test_url.domain, timestamp
+            )
         )
 
         dns_result = None
@@ -192,6 +213,7 @@ class ICLabPlatform:
             rng,
             self.config.traceroute,
             racing_router_path=racing_router_path,
+            plan_cache=self._trace_plans,
         )
 
         injectors = set(http_result.injector_asns)
@@ -221,9 +243,7 @@ class ICLabPlatform:
         schedule = self.oracle.schedule_for(src, dst)
         if not schedule.switch_times:
             return None
-        import bisect
-
-        position = bisect.bisect_right(schedule.switch_times, timestamp)
+        position = bisect_right(schedule.switch_times, timestamp)
         if position == 0:
             return None
         last_switch = schedule.switch_times[position - 1]
@@ -244,6 +264,7 @@ class ICLabPlatform:
         replacement; test instants are uniform within the day.
         """
         dataset = Dataset()
+        timer = self.timer
         scheduler_rng = DeterministicRNG(self.config.seed, "scheduler")
         day_starts = range(self.config.start, self.config.end, DAY)
         for day_index, day_start in enumerate(day_starts):
@@ -251,7 +272,12 @@ class ICLabPlatform:
                 for vantage, timestamp in self._day_schedule(
                     scheduler_rng, test_url, day_start
                 ):
-                    measurement = self.run_test(vantage, test_url, timestamp)
+                    if timer is not None:
+                        started = perf_counter()
+                        measurement = self.run_test(vantage, test_url, timestamp)
+                        timer.add("campaign.tests", perf_counter() - started)
+                    else:
+                        measurement = self.run_test(vantage, test_url, timestamp)
                     if measurement is not None:
                         dataset.add(measurement)
             if progress_every and (day_index + 1) % progress_every == 0:
@@ -289,8 +315,6 @@ class ICLabPlatform:
     @staticmethod
     def _poisson(rng: DeterministicRNG, mean: float) -> int:
         """Knuth's algorithm; fine for the small means used here."""
-        import math
-
         limit = math.exp(-mean)
         count = 0
         product = rng.random()

@@ -72,14 +72,15 @@ class TcpPacket:
     @property
     def is_synack(self) -> bool:
         """Whether this is the handshake SYNACK."""
-        return self.flags & (TcpFlags.SYN | TcpFlags.ACK) == (
-            TcpFlags.SYN | TcpFlags.ACK
-        )
+        return self.flags & _SYNACK_MASK == _SYNACK_MASK
 
     @property
     def seq_end(self) -> int:
         """Sequence number just past this segment's payload."""
         return self.seq + self.payload_len
+
+
+_SYNACK_MASK = TcpFlags.SYN | TcpFlags.ACK
 
 
 @dataclass(frozen=True)
@@ -126,24 +127,40 @@ class DnsResponse:
 
 @dataclass
 class PacketCapture:
-    """A client-side capture of one session (DNS lookup or TCP connection)."""
+    """A client-side capture of one session (DNS lookup or TCP connection).
+
+    ``server_packets``/``synack`` are asked for by every detector of every
+    test, so their answers are cached and invalidated on ``add`` — captures
+    are append-then-analyze, making the cache a pure win.
+    """
 
     tcp: List[TcpPacket] = field(default_factory=list)
     dns: List[DnsResponse] = field(default_factory=list)
+    _server_cache: Optional[List[TcpPacket]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def add(self, packet: TcpPacket) -> None:
         """Record a TCP packet."""
         self.tcp.append(packet)
+        self._server_cache = None
 
     def add_dns(self, response: DnsResponse) -> None:
         """Record a DNS response."""
         self.dns.append(response)
 
     def server_packets(self) -> List[TcpPacket]:
-        """TCP packets flowing toward the client, in time order."""
-        return sorted(
-            (p for p in self.tcp if not p.from_client), key=lambda p: p.time
-        )
+        """TCP packets flowing toward the client, in time order.
+
+        The returned list is shared and must not be mutated by callers.
+        """
+        cached = self._server_cache
+        if cached is None:
+            cached = self._server_cache = sorted(
+                (p for p in self.tcp if not p.from_client),
+                key=lambda p: p.time,
+            )
+        return cached
 
     def synack(self) -> Optional[TcpPacket]:
         """The first SYNACK of the capture, if any."""

@@ -250,13 +250,14 @@ def simulate_http_fetch(
             ttl=endpoint_ttl,
             seq=server_isn,
             ack=client_isn + 1,
-            flags=TcpFlags.SYN | TcpFlags.ACK,
+            flags=_SYNACK,
             injected_by=endpoint_injected_by,
         )
     )
 
     # --- request ---------------------------------------------------------
-    request_len = len(f"GET {url} HTTP/1.1\r\nHost: {domain}\r\n\r\n")
+    # len("GET " + url + " HTTP/1.1\r\nHost: " + domain + "\r\n\r\n")
+    request_len = 25 + len(url) + len(domain)
     request_time = synack_time + 0.001
     capture.add(
         TcpPacket(
@@ -265,7 +266,7 @@ def simulate_http_fetch(
             ttl=DEFAULT_TTL,
             seq=client_isn + 1,
             ack=server_isn + 1,
-            flags=TcpFlags.ACK | TcpFlags.PSH,
+            flags=_ACK_PSH,
             payload_len=request_len,
         )
     )
@@ -408,6 +409,11 @@ def _blockpage_response(action: TcpAction) -> HttpResponse:
     return HttpResponse(status=403, body=action.blockpage_html, server_header="filter")
 
 
+_ACK = TcpFlags.ACK
+_ACK_PSH = TcpFlags.ACK | TcpFlags.PSH
+_SYNACK = TcpFlags.SYN | TcpFlags.ACK
+
+
 def _emit_segments(
     capture: PacketCapture,
     page: HttpResponse,
@@ -428,10 +434,17 @@ def _emit_segments(
     first = True
     jitter_target = rng.randrange(1, 1 + max(1, remaining // _SEGMENT_SIZE))
     segment_index = 0
+    # chance() inlined for the per-segment loop; degenerate probabilities
+    # keep chance()'s no-draw behaviour so the RNG stream is unchanged.
+    loss_probability = params.segment_loss_probability
+    draw_loss = 0.0 < loss_probability < 1.0
+    loss_always = loss_probability >= 1.0
+    uniform = rng.random
     while remaining > 0 or first:
         size = min(_SEGMENT_SIZE, remaining) if remaining else 0
         segment_index += 1
-        if rng.chance(params.segment_loss_probability) and not first:
+        lost = (uniform() < loss_probability) if draw_loss else loss_always
+        if lost and not first:
             # lost on the wire: advance seq without a capture entry
             seq += size
             remaining -= size
@@ -447,7 +460,7 @@ def _emit_segments(
                 ttl=segment_ttl,
                 seq=seq,
                 ack=0,
-                flags=TcpFlags.ACK | (TcpFlags.PSH if first else TcpFlags.NONE),
+                flags=_ACK_PSH if first else _ACK,
                 payload_len=size,
                 payload=page if first else None,
                 injected_by=injected_by,

@@ -18,13 +18,22 @@ churn engine's lever for flipping decisions.  Links listed in
 
 The result is a :class:`RoutingTable` mapping each source to its AS path to
 ``d``.  Every emitted path is valley-free by construction; tests assert it.
+
+Route computation is the campaign's hottest path (churn discovery computes
+hundreds of tables per run), so :class:`RouteComputer` front-loads the
+invariant work: adjacency is snapshotted into sorted tuples at
+construction, tie-break ranks are memoized per salt (the blake2b hash in
+:func:`tie_break_rank` dominates a naive compute), and finished tables are
+kept in an LRU cache — evicting one cold table at a time instead of
+discarding the whole working set.
 """
 
 from __future__ import annotations
 
-import heapq
-from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, Optional, Tuple
+from collections import OrderedDict
+from dataclasses import dataclass, field
+from heapq import heapify, heappop, heappush
+from typing import Dict, FrozenSet, Iterable, List, Optional, Tuple
 
 from repro.routing.policy import RouteClass, tie_break_rank
 from repro.topology.graph import ASGraph
@@ -43,10 +52,22 @@ class RoutingTable:
 
     ``paths[src]`` is the AS-level path ``(src, ..., dst)``; sources with no
     policy-compliant route (partitioned by failures) are absent.
+
+    ``phase1_paths`` and ``route_classes`` (1 = customer, 2 = peer,
+    3 = provider) are internal per-phase byproducts recorded for intact
+    tables only; the incremental failed-link recomputation seeds from
+    them.  They carry no information beyond the propagation that produced
+    ``paths`` and are excluded from equality.
     """
 
     destination: int
     paths: Dict[int, ASPath]
+    phase1_paths: Optional[Dict[int, ASPath]] = field(
+        default=None, compare=False, repr=False
+    )
+    route_classes: Optional[Dict[int, int]] = field(
+        default=None, compare=False, repr=False
+    )
 
     def path_from(self, src: int) -> Optional[ASPath]:
         """The path from ``src``, or None if unreachable."""
@@ -58,13 +79,71 @@ class RoutingTable:
         return len(self.paths)
 
 
+@dataclass
+class RouteComputerStats:
+    """Counters exposed for perf reports and regression tests."""
+
+    tables_computed: int = 0
+    tables_incremental: int = 0  # failed-link tables seeded from a base
+    cache_hits: int = 0
+    cache_evictions: int = 0
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "tables_computed": self.tables_computed,
+            "tables_incremental": self.tables_incremental,
+            "cache_hits": self.cache_hits,
+            "cache_evictions": self.cache_evictions,
+        }
+
+
 class RouteComputer:
-    """Computes and caches routing tables over a fixed AS graph."""
+    """Computes and caches routing tables over a fixed AS graph.
+
+    ``cache_size`` bounds the table cache with LRU eviction; 0 disables
+    caching entirely (every call recomputes — used by micro-benchmarks).
+    """
 
     def __init__(self, graph: ASGraph, cache_size: int = 4096) -> None:
         self.graph = graph
-        self._cache: Dict[Tuple[int, int, FrozenSet[LinkKey]], RoutingTable] = {}
+        self._cache: "OrderedDict[Tuple[int, int, FrozenSet[LinkKey]], RoutingTable]" = (
+            OrderedDict()
+        )
         self._cache_size = cache_size
+        self.stats = RouteComputerStats()
+        # Adjacency snapshot: sorted tuples iterate faster than live sets
+        # and give a deterministic neighbor order independent of set-hash
+        # layout.  The graph is immutable for the computer's lifetime.
+        self._providers: Dict[int, Tuple[int, ...]] = {}
+        self._customers: Dict[int, Tuple[int, ...]] = {}
+        self._peers: Dict[int, Tuple[int, ...]] = {}
+        for autonomous_system in graph.registry:
+            asn = autonomous_system.asn
+            self._providers[asn] = tuple(sorted(graph.providers_of(asn)))
+            self._customers[asn] = tuple(sorted(graph.customers_of(asn)))
+            self._peers[asn] = tuple(sorted(graph.peers_of(asn)))
+        # Tie-break ranks per salt, fully populated for every directed
+        # adjacency on first use of a salt: {asn: {neighbor: rank}}.  Rows
+        # keyed by small ints probe faster than tuple keys in the hot loop.
+        self._ranks: Dict[int, Dict[int, Dict[int, int]]] = {}
+        # Per-base-table link-usage index: (destination, salt) → (table,
+        # {canonical link: set of nodes whose path traverses it}).  Built
+        # once per intact table and shared by every single-link-failure
+        # recomputation against it; the table identity check guards
+        # against LRU-evicted-and-recomputed bases.  Bounded alongside
+        # the table cache so it cannot pin evicted tables forever.
+        self._link_users: Dict[
+            Tuple[int, int], Tuple[RoutingTable, Dict[LinkKey, set]]
+        ] = {}
+        self._link_users_max = max(64, cache_size)
+        # Per-compute scratch, allocated once and indexed by ASN (list
+        # indexing beats dict probing in the propagation loops).  Entries
+        # touched by a compute are reset afterwards via the discovery list.
+        max_asn = max((a.asn for a in graph.registry), default=0)
+        self._scratch_path: List[Optional[ASPath]] = [None] * (max_asn + 1)
+        self._scratch_class: List[int] = [0] * (max_asn + 1)
+        # 0 = unset, 1 = customer, 2 = peer, 3 = provider
+        self._scratch_settled = bytearray(max_asn + 1)
 
     def routing_table(
         self,
@@ -81,116 +160,416 @@ class RouteComputer:
         cache_key = (destination, salt, down)
         cached = self._cache.get(cache_key)
         if cached is not None:
+            self._cache.move_to_end(cache_key)
+            self.stats.cache_hits += 1
             return cached
-        table = self._compute(destination, salt, down)
-        if len(self._cache) >= self._cache_size:
-            self._cache.clear()  # simple bound; tables are cheap to rebuild
-        self._cache[cache_key] = table
+        table = None
+        if len(down) == 1:
+            # Single-link failures (the churn engine's case) recompute
+            # incrementally from the intact table when it is in cache:
+            # only routes traversing the failed link can change.
+            base = self._cache.get((destination, salt, frozenset()))
+            if base is not None and base.phase1_paths is not None:
+                table = self._compute_failed(
+                    destination, salt, next(iter(down)), base
+                )
+        if table is None:
+            table = self._compute(destination, salt, down)
+        if self._cache_size > 0:
+            if len(self._cache) >= self._cache_size:
+                self._cache.popitem(last=False)  # evict least recently used
+                self.stats.cache_evictions += 1
+            self._cache[cache_key] = table
         return table
 
     # ------------------------------------------------------------------
 
-    def _up(self, asn: int, down: FrozenSet[LinkKey]) -> Iterable[int]:
-        return (
-            p
-            for p in self.graph.providers_of(asn)
-            if _link_key(asn, p) not in down
-        )
-
-    def _downhill(self, asn: int, down: FrozenSet[LinkKey]) -> Iterable[int]:
-        return (
-            c
-            for c in self.graph.customers_of(asn)
-            if _link_key(asn, c) not in down
-        )
-
-    def _sideways(self, asn: int, down: FrozenSet[LinkKey]) -> Iterable[int]:
-        return (
-            p
-            for p in self.graph.peers_of(asn)
-            if _link_key(asn, p) not in down
-        )
+    def _rank_table(self, salt: int) -> Dict[int, Dict[int, int]]:
+        table = self._ranks.get(salt)
+        if table is None:
+            # One blake2b per directed adjacency, once per salt — the
+            # propagation loops then index the rows directly.
+            table = self._ranks[salt] = {}
+            for adjacency in (self._providers, self._customers, self._peers):
+                for asn, neighbors in adjacency.items():
+                    row = table.setdefault(asn, {})
+                    for neighbor in neighbors:
+                        row[neighbor] = tie_break_rank(asn, neighbor, salt)
+        return table
 
     def _compute(
         self, destination: int, salt: int, down: FrozenSet[LinkKey]
     ) -> RoutingTable:
+        """Three-phase Gao-Rexford propagation.
+
+        Two structural optimizations keep the loops tight without changing
+        a single decision: (1) every relaxation depends only on path
+        *length* and the deciding AS's tie-break rank toward the next hop,
+        so candidate path tuples are built only when a candidate wins;
+        (2) per-node state lives in ASN-indexed scratch arrays (allocated
+        once per computer), with the discovery list both preserving the
+        original insertion order of the result and driving the reset.
+        """
         if destination not in self.graph.registry:
             raise KeyError(f"AS{destination} is not in the topology")
-        best_class: Dict[int, RouteClass] = {destination: RouteClass.CUSTOMER}
-        best_path: Dict[int, ASPath] = {destination: (destination,)}
+        self.stats.tables_computed += 1
+        providers = self._providers
+        customers = self._customers
+        peers = self._peers
+        # Every (deciding AS, next hop) pair the phases compare is a
+        # directed adjacency, so the fully-populated per-salt table can be
+        # indexed without a fallback.
+        ranks = self._rank_table(salt)
+        # Failed links, indexed by endpoint for O(1) per-edge checks.
+        blocked: Dict[int, set] = {}
+        for a, b in down:
+            blocked.setdefault(a, set()).add(b)
+            blocked.setdefault(b, set()).add(a)
+        blocked_get = blocked.get
 
-        # Phase 1 — customer routes climb provider edges.  Dijkstra on
-        # (length, tie_rank) so equal-length decisions are salt-stable.
-        frontier: list = [(0, 0, destination)]
-        settled: set = set()
-        while frontier:
-            length, _, asn = heapq.heappop(frontier)
-            if asn in settled:
-                continue
-            settled.add(asn)
-            for provider in self._up(asn, down):
-                if provider in settled:
+        path_of = self._scratch_path
+        class_of = self._scratch_class  # 1 customer, 2 peer, 3 provider
+        settled = self._scratch_settled
+        discovered: List[int] = [destination]
+        path_of[destination] = (destination,)
+        class_of[destination] = 1
+
+        try:
+            # Phase 1 — customer routes climb provider edges.  Dijkstra on
+            # (length, tie_rank) so equal-length decisions are salt-stable.
+            frontier: list = [(0, 0, destination)]
+            while frontier:
+                length, _, asn = heappop(frontier)
+                if settled[asn]:
                     continue
-                candidate: ASPath = (provider,) + best_path[asn]
-                rank = tie_break_rank(provider, asn, salt)
-                incumbent = best_path.get(provider)
-                if incumbent is None or self._better(
-                    provider, candidate, incumbent, salt
-                ):
-                    best_path[provider] = candidate
-                    best_class[provider] = RouteClass.CUSTOMER
-                    heapq.heappush(frontier, (len(candidate) - 1, rank, provider))
+                settled[asn] = 1
+                bad = blocked_get(asn)
+                base_path = path_of[asn]
+                candidate_size = len(base_path) + 1
+                for provider in providers[asn]:
+                    if settled[provider] or (
+                        bad is not None and provider in bad
+                    ):
+                        continue
+                    incumbent = path_of[provider]
+                    if incumbent is None:
+                        take = True
+                        discovered.append(provider)
+                    elif candidate_size != (incumbent_size := len(incumbent)):
+                        take = candidate_size < incumbent_size
+                    else:
+                        row = ranks[provider]
+                        take = row[asn] < row[incumbent[1]]
+                    if take:
+                        path_of[provider] = (provider,) + base_path
+                        class_of[provider] = 1
+                        heappush(
+                            frontier,
+                            (candidate_size - 1, ranks[provider][asn], provider),
+                        )
 
-        customer_holders = list(best_path)
+            customer_holders = list(discovered)
+            # Intact tables snapshot their phase-1 routes and final
+            # classes so single-link-failure tables can recompute only
+            # the affected nodes (see _compute_failed).
+            phase1_snapshot: Optional[Dict[int, ASPath]] = (
+                {asn: path_of[asn] for asn in discovered} if not down else None
+            )
 
-        # Phase 2 — one peer hop from any customer-route holder.
+            # Phase 2 — one peer hop from any customer-route holder.
+            peer_path: Dict[int, ASPath] = {}
+            peer_path_get = peer_path.get
+            for holder in customer_holders:
+                holder_peers = peers[holder]
+                if not holder_peers:
+                    continue
+                bad = blocked_get(holder)
+                holder_path = path_of[holder]
+                candidate_size = len(holder_path) + 1
+                for peer in holder_peers:
+                    if path_of[peer] is not None or (
+                        bad is not None and peer in bad
+                    ):
+                        continue  # customer route always beats a peer route
+                    incumbent = peer_path_get(peer)
+                    if incumbent is None:
+                        take = True
+                    elif candidate_size != (incumbent_size := len(incumbent)):
+                        take = candidate_size < incumbent_size
+                    else:
+                        row = ranks[peer]
+                        take = row[holder] < row[incumbent[1]]
+                    if take:
+                        peer_path[peer] = (peer,) + holder_path
+            for asn, path in peer_path.items():
+                path_of[asn] = path
+                class_of[asn] = 2
+                discovered.append(asn)
+
+            # Phase 3 — provider routes cascade down customer edges.  Stub
+            # ASes (no customers) can never relax anyone; keeping them out
+            # of the frontier skips the majority of a typical topology.
+            frontier = [
+                (len(path_of[asn]) - 1, 0, asn)
+                for asn in discovered
+                if customers[asn]
+            ]
+            heapify(frontier)
+            while frontier:
+                length, _, asn = heappop(frontier)
+                base_path = path_of[asn]
+                if len(base_path) - 1 != length:
+                    continue  # stale entry
+                bad = blocked_get(asn)
+                candidate_size = length + 2
+                for customer in customers[asn]:
+                    customer_class = class_of[customer]
+                    if customer_class == 1 or customer_class == 2:
+                        continue  # provider route can't displace those
+                    if bad is not None and customer in bad:
+                        continue
+                    incumbent = path_of[customer]
+                    if incumbent is None:
+                        take = True
+                        discovered.append(customer)
+                    elif candidate_size != (incumbent_size := len(incumbent)):
+                        take = candidate_size < incumbent_size
+                    else:
+                        row = ranks[customer]
+                        take = row[asn] < row[incumbent[1]]
+                    if take:
+                        path_of[customer] = (customer,) + base_path
+                        class_of[customer] = 3
+                        if customers[customer]:
+                            heappush(
+                                frontier,
+                                (
+                                    candidate_size - 1,
+                                    ranks[customer][asn],
+                                    customer,
+                                ),
+                            )
+
+            paths: Dict[int, ASPath] = {}
+            for asn in discovered:
+                if asn != destination:
+                    paths[asn] = path_of[asn]
+            classes_snapshot: Optional[Dict[int, int]] = (
+                {asn: class_of[asn] for asn in discovered}
+                if not down
+                else None
+            )
+        finally:
+            for asn in discovered:
+                path_of[asn] = None
+                class_of[asn] = 0
+                settled[asn] = 0
+        return RoutingTable(
+            destination=destination,
+            paths=paths,
+            phase1_paths=phase1_snapshot,
+            route_classes=classes_snapshot,
+        )
+
+    def _users_of(
+        self, destination: int, salt: int, base: RoutingTable
+    ) -> Dict[LinkKey, set]:
+        """links → nodes whose path in ``base`` traverses the link.
+
+        Built once per intact table (O(total path length)) and reused by
+        every single-link-failure recomputation against it.
+        """
+        key = (destination, salt)
+        cached = self._link_users.get(key)
+        if cached is not None and cached[0] is base:
+            return cached[1]
+        if len(self._link_users) >= self._link_users_max:
+            self._link_users.clear()
+        index: Dict[LinkKey, set] = {}
+        for node, path in base.paths.items():
+            previous = path[0]
+            for hop in path[1:]:
+                link = (
+                    (previous, hop) if previous < hop else (hop, previous)
+                )
+                bucket = index.get(link)
+                if bucket is None:
+                    bucket = index[link] = set()
+                bucket.add(node)
+                previous = hop
+        self._link_users[key] = (base, index)
+        return index
+
+    def _compute_failed(
+        self,
+        destination: int,
+        salt: int,
+        link: LinkKey,
+        base: RoutingTable,
+    ) -> RoutingTable:
+        """One-link-failure table, seeded from the intact ``base`` table.
+
+        Removing a link can neither create new routes nor improve or
+        displace an existing one, so every node whose chosen path does
+        not traverse the failed link keeps exactly its base route (per
+        phase: a customer route is final the moment it exists, peer and
+        provider routes compose unaffected suffixes).  Each propagation
+        phase therefore re-runs restricted to the affected nodes, with
+        the unaffected routes as fixed, already-settled boundary — the
+        same (length, tie-rank) fixpoint the full computation reaches,
+        at a fraction of the work.  ``tests/test_routing_policy.py``
+        pins equality against the full recomputation exhaustively.
+        """
+        self.stats.tables_computed += 1
+        self.stats.tables_incremental += 1
+        a, b = link
+        providers = self._providers
+        customers = self._customers
+        peers = self._peers
+        ranks = self._rank_table(salt)
+
+        # Nodes whose base route traverses the failed link — the only
+        # nodes whose routes can change.  (Phase-1 customer routes are
+        # final for their holders, so one final-path index serves both
+        # the phase-1 and the overall affected set.)
+        users = self._users_of(destination, salt, base).get(link)
+        if users is None:
+            users = frozenset()
+
+        # ---- phase 1: recompute customer routes of affected holders ----
+        base_phase1 = base.phase1_paths or {}
+        affected1 = {node for node in users if node in base_phase1}
+        phase1: Dict[int, ASPath] = dict(base_phase1)
+        for node in affected1:
+            del phase1[node]
+        if affected1:
+            # Seeds: unaffected holders adjacent to an affected provider.
+            seeds: set = set()
+            for node in affected1:
+                for customer in customers[node]:
+                    if customer in phase1:
+                        seeds.add(customer)
+            frontier: list = [
+                (len(phase1[node]) - 1, 0, node) for node in seeds
+            ]
+            heapify(frontier)
+            settled = set(phase1)
+            while frontier:
+                length, _, asn = heappop(frontier)
+                if asn in affected1:
+                    if asn in settled:
+                        continue
+                    settled.add(asn)
+                base_path = phase1[asn]
+                candidate_size = len(base_path) + 1
+                for provider in providers[asn]:
+                    if provider not in affected1 or provider in settled:
+                        continue  # unaffected routes are final
+                    if (asn == a and provider == b) or (
+                        asn == b and provider == a
+                    ):
+                        continue  # the failed link itself
+                    incumbent = phase1.get(provider)
+                    if incumbent is None:
+                        take = True
+                    elif candidate_size != (incumbent_size := len(incumbent)):
+                        take = candidate_size < incumbent_size
+                    else:
+                        row = ranks[provider]
+                        take = row[asn] < row[incumbent[1]]
+                    if take:
+                        phase1[provider] = (provider,) + base_path
+                        heappush(
+                            frontier,
+                            (candidate_size - 1, ranks[provider][asn], provider),
+                        )
+
+        # ---- phase 2: peer routes, rescanned over the new holder set ----
+        # Linear in peer adjacency; recomputing it wholesale is both cheap
+        # and trivially identical to the from-scratch pass.
         peer_path: Dict[int, ASPath] = {}
-        for holder in customer_holders:
-            for peer in self._sideways(holder, down):
-                if peer in best_path:
+        peer_path_get = peer_path.get
+        for holder, holder_path in phase1.items():
+            holder_peers = peers[holder]
+            if not holder_peers:
+                continue
+            candidate_size = len(holder_path) + 1
+            for peer in holder_peers:
+                if peer in phase1:
                     continue  # customer route always beats a peer route
-                candidate = (peer,) + best_path[holder]
-                incumbent = peer_path.get(peer)
-                if incumbent is None or self._better(peer, candidate, incumbent, salt):
-                    peer_path[peer] = candidate
-        for asn, path in peer_path.items():
-            best_path[asn] = path
-            best_class[asn] = RouteClass.PEER
+                if (holder == a and peer == b) or (holder == b and peer == a):
+                    continue
+                incumbent = peer_path_get(peer)
+                if incumbent is None:
+                    take = True
+                elif candidate_size != (incumbent_size := len(incumbent)):
+                    take = candidate_size < incumbent_size
+                else:
+                    row = ranks[peer]
+                    take = row[holder] < row[incumbent[1]]
+                if take:
+                    peer_path[peer] = (peer,) + holder_path
 
-        # Phase 3 — provider routes cascade down customer edges.
+        # ---- phase 3: provider routes cascade into the affected rest ----
+        best_path: Dict[int, ASPath] = dict(phase1)
+        best_path.update(peer_path)
+        fixed: set = set(best_path)  # customer/peer routes are final
+        base_classes = base.route_classes or {}
+        for node, path in base.paths.items():
+            if (
+                node not in fixed
+                and node not in users
+                and base_classes.get(node) == 3
+            ):
+                best_path[node] = path
+                fixed.add(node)
         frontier = [
-            (len(best_path[asn]) - 1, 0, asn) for asn in best_path
+            (len(path) - 1, 0, node)
+            for node, path in best_path.items()
+            if customers[node]
         ]
-        heapq.heapify(frontier)
+        heapify(frontier)
         while frontier:
-            length, _, asn = heapq.heappop(frontier)
-            if len(best_path[asn]) - 1 != length:
+            length, _, asn = heappop(frontier)
+            base_path = best_path[asn]
+            if len(base_path) - 1 != length:
                 continue  # stale entry
-            for customer in self._downhill(asn, down):
-                if best_class.get(customer) in (RouteClass.CUSTOMER, RouteClass.PEER):
-                    continue  # provider route can't displace those
-                candidate = (customer,) + best_path[asn]
-                incumbent = best_path.get(customer)
-                if incumbent is None or self._better(
-                    customer, candidate, incumbent, salt
+            candidate_size = length + 2
+            for customer in customers[asn]:
+                if customer in fixed:
+                    continue  # final: unaffected, or customer/peer class
+                if (asn == a and customer == b) or (
+                    asn == b and customer == a
                 ):
-                    best_path[customer] = candidate
-                    best_class[customer] = RouteClass.PROVIDER
-                    rank = tie_break_rank(customer, asn, salt)
-                    heapq.heappush(frontier, (len(candidate) - 1, rank, customer))
+                    continue
+                incumbent = best_path.get(customer)
+                if incumbent is None:
+                    take = True
+                elif candidate_size != (incumbent_size := len(incumbent)):
+                    take = candidate_size < incumbent_size
+                else:
+                    row = ranks[customer]
+                    take = row[asn] < row[incumbent[1]]
+                if take:
+                    best_path[customer] = (customer,) + base_path
+                    if customers[customer]:
+                        heappush(
+                            frontier,
+                            (
+                                candidate_size - 1,
+                                ranks[customer][asn],
+                                customer,
+                            ),
+                        )
 
         best_path.pop(destination, None)
         return RoutingTable(destination=destination, paths=best_path)
 
-    def _better(
-        self, asn: int, candidate: ASPath, incumbent: ASPath, salt: int
-    ) -> bool:
-        """Whether ``candidate`` beats ``incumbent`` at ``asn`` (same class)."""
-        if len(candidate) != len(incumbent):
-            return len(candidate) < len(incumbent)
-        return tie_break_rank(asn, candidate[1], salt) < tie_break_rank(
-            asn, incumbent[1], salt
-        )
 
-
-__all__ = ["RouteComputer", "RoutingTable", "ASPath", "LinkKey"]
+__all__ = [
+    "RouteComputer",
+    "RouteComputerStats",
+    "RoutingTable",
+    "ASPath",
+    "LinkKey",
+]

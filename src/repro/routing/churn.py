@@ -25,8 +25,9 @@ import math
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.routing.bgp import ASPath, LinkKey, RouteComputer
+from repro.routing.bgp import ASPath, LinkKey, RouteComputer, RoutingTable
 from repro.topology.graph import ASGraph
+from repro.util.profiling import StageTimer, maybe_stage
 from repro.util.rng import DeterministicRNG
 from repro.util.timeutil import DAY
 
@@ -137,16 +138,44 @@ class PathOracle:
         self.graph = graph
         self.config = config
         self.routes = RouteComputer(graph)
+        self.timer: Optional[StageTimer] = None
         self._schedules: Dict[Tuple[int, int], PairSchedule] = {}
+        # Per-destination table families.  One destination serves every
+        # source probing toward it, so the salted tables and the
+        # failed-link tables are pinned here for the oracle's lifetime —
+        # (src, dst) pairs sharing a destination never recompute them,
+        # independent of the RouteComputer's LRU capacity.
+        self._salted_tables: Dict[int, Tuple[RoutingTable, ...]] = {}
+        self._failed_tables: Dict[Tuple[int, Tuple[int, int]], RoutingTable] = {}
 
     # -- alternatives ---------------------------------------------------
+
+    def _salted_for(self, dst: int) -> Tuple[RoutingTable, ...]:
+        """The per-salt routing tables toward ``dst`` (cached per dest)."""
+        tables = self._salted_tables.get(dst)
+        if tables is None:
+            tables = tuple(
+                self.routes.routing_table(dst, salt=salt)
+                for salt in range(self.config.num_salts)
+            )
+            self._salted_tables[dst] = tables
+        return tables
+
+    def _failed_for(self, dst: int, hop: Tuple[int, int]) -> RoutingTable:
+        """The table toward ``dst`` with one link failed (cached per dest)."""
+        key = (dst, hop if hop[0] < hop[1] else (hop[1], hop[0]))
+        table = self._failed_tables.get(key)
+        if table is None:
+            table = self.routes.routing_table(dst, salt=0, down_links=[hop])
+            self._failed_tables[key] = table
+        return table
 
     def alternatives_for(self, src: int, dst: int) -> List[ASPath]:
         """Distinct valley-free paths for the pair, canonical first."""
         paths: List[ASPath] = []
         seen: set = set()
-        for salt in range(self.config.num_salts):
-            path = self.routes.routing_table(dst, salt=salt).path_from(src)
+        for table in self._salted_for(dst):
+            path = table.path_from(src)
             if path is not None and path not in seen:
                 seen.add(path)
                 paths.append(path)
@@ -158,8 +187,7 @@ class PathOracle:
             for hop in zip(canonical, canonical[1:]):
                 if budget <= 0:
                     break
-                table = self.routes.routing_table(dst, salt=0, down_links=[hop])
-                path = table.path_from(src)
+                path = self._failed_for(dst, hop).path_from(src)
                 if path is not None and path not in seen:
                     seen.add(path)
                     paths.append(path)
@@ -173,7 +201,8 @@ class PathOracle:
         key = (src, dst)
         schedule = self._schedules.get(key)
         if schedule is None:
-            schedule = self._build_schedule(src, dst)
+            with maybe_stage(self.timer, "routing.schedules"):
+                schedule = self._build_schedule(src, dst)
             self._schedules[key] = schedule
         return schedule
 
@@ -188,15 +217,23 @@ class PathOracle:
         switch_times: List[int] = []
         choices: List[int] = []
         current = 0
-        clock = rng.expovariate(1.0 / mean_gap)
-        while clock < config.horizon:
-            nxt = rng.randrange(len(alternatives) - 1)
+        # Flappy pairs draw hundreds of switches per horizon; inline the
+        # expovariate arithmetic (bit-identical to rng.expovariate) and use
+        # the core randrange primitive directly.
+        lambd = 1.0 / mean_gap
+        uniform = rng.random
+        randbelow = rng._randbelow
+        num_others = len(alternatives) - 1
+        horizon = config.horizon
+        clock = -math.log(1.0 - uniform()) / lambd
+        while clock < horizon:
+            nxt = randbelow(num_others)
             if nxt >= current:
                 nxt += 1  # uniform over alternatives other than current
             switch_times.append(int(clock))
             choices.append(nxt)
             current = nxt
-            clock += rng.expovariate(1.0 / mean_gap)
+            clock += -math.log(1.0 - uniform()) / lambd
         return PairSchedule(src, dst, alternatives, switch_times, choices)
 
     def _draw_rate(self, rng: DeterministicRNG) -> Optional[float]:

@@ -7,7 +7,9 @@ Subcommands:
 - ``resume`` — re-expand a persisted sweep manifest and run only the jobs
   with no stored record (picks up interrupted sweeps);
 - ``list``   — show persisted sweeps with done/total counts;
-- ``report`` — per-job and aggregate tables over stored records.
+- ``report`` — per-job and aggregate tables over stored records;
+- ``perf``   — where the time went: per-stage wall-clock totals and
+  solver/routing counters aggregated from the stored perf sidecars.
 """
 
 from __future__ import annotations
@@ -16,7 +18,7 @@ import argparse
 import dataclasses
 import sys
 import time
-from typing import List, Optional, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
 from repro.core.pipeline import DEFAULT_SOLUTION_CAP
@@ -29,6 +31,7 @@ from repro.runner.results import (
 from repro.runner.spec import CHURN_MODES, SweepSpec, WITH_CHURN
 from repro.runner.store import ResultStore
 from repro.scenario.presets import PRESETS
+from repro.util.profiling import StageTimer
 
 DEFAULT_STORE = ".repro-results"
 
@@ -134,6 +137,19 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     report.add_argument(
         "--name", default=None, help="restrict to one sweep's jobs"
+    )
+
+    perf = subparsers.add_parser(
+        "perf", help="aggregate stage timings from stored perf sidecars"
+    )
+    perf.add_argument(
+        "--name", default=None, help="restrict to one sweep's jobs"
+    )
+    perf.add_argument(
+        "--top",
+        type=int,
+        default=5,
+        help="how many slowest jobs to list (default: 5)",
     )
     return parser
 
@@ -304,11 +320,90 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _job_ids_for(store: ResultStore, name: Optional[str]) -> List[str]:
+    if name is not None:
+        spec = store.load_sweep(name)
+        return [job.job_id for job in spec.expand()]
+    return store.job_ids()
+
+
+def _cmd_perf(args: argparse.Namespace) -> int:
+    store = ResultStore(args.store)
+    aggregate = StageTimer()
+    per_job_total: List[Tuple[float, str]] = []
+    jobs_with_perf = 0
+    for job_id in _job_ids_for(store, args.name):
+        perf_payload = store.get_perf(job_id)
+        if perf_payload is None:
+            continue
+        snapshot = perf_payload.get("perf", {})
+        jobs_with_perf += 1
+        aggregate.merge(snapshot)
+        total = snapshot.get("stages", {}).get("job.total", {}).get("seconds")
+        if total is not None:
+            record = store.get(job_id)
+            label = record.get("label", job_id) if record else job_id
+            per_job_total.append((total, label))
+    if not jobs_with_perf:
+        print(
+            "no perf sidecars found (perf data is written for jobs "
+            "executed by this version; cache hits from older stores "
+            "have none)"
+        )
+        return 0
+    snapshot = aggregate.snapshot()
+    stages = snapshot["stages"]
+    total_wall = stages.get("job.total", {}).get("seconds", 0.0)
+    rows = [
+        (
+            name,
+            f"{entry['seconds']:.2f}s",
+            f"{entry['seconds'] / total_wall:.1%}" if total_wall else "n/a",
+            entry["calls"],
+        )
+        for name, entry in sorted(
+            stages.items(), key=lambda item: -item[1]["seconds"]
+        )
+    ]
+    print(
+        format_table(
+            ["stage", "wall", "of total", "calls"],
+            rows,
+            title=f"stage timings over {jobs_with_perf} jobs",
+        )
+    )
+    counters = snapshot["counters"]
+    if counters:
+        print()
+        print(
+            format_table(
+                ["counter", "total"],
+                sorted(counters.items()),
+                title="counters",
+            )
+        )
+    if per_job_total:
+        per_job_total.sort(reverse=True)
+        print()
+        print(
+            format_table(
+                ["job", "wall"],
+                [
+                    (label, f"{seconds:.2f}s")
+                    for seconds, label in per_job_total[: args.top]
+                ],
+                title=f"slowest {min(args.top, len(per_job_total))} jobs",
+            )
+        )
+    return 0
+
+
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "resume": _cmd_resume,
     "list": _cmd_list,
     "report": _cmd_report,
+    "perf": _cmd_perf,
 }
 
 

@@ -3,9 +3,11 @@
 ``run_job`` is the one place the end-to-end chain (build world → run
 campaign → run pipeline) is wired; everything else — examples, the serial
 fallback, the multiprocessing pool — goes through it.  Records produced
-by a worker are byte-identical to records produced serially: they contain
-no timing, ordering, or host-specific data, which is what lets the store
-treat a record as a pure function of its job spec.
+by a worker are byte-identical to records produced serially: the canonical
+record contains no timing, ordering, or host-specific data, which is what
+lets the store treat a record as a pure function of its job spec.  Stage
+timings (see :mod:`repro.util.profiling`) ride along under the ``perf``
+key, which the store strips into a separate non-canonical sidecar.
 
 The pool is deliberately plain ``Process`` + ``Pipe`` rather than
 ``ProcessPoolExecutor``: a hung job must be *terminated* when its
@@ -13,20 +15,31 @@ per-job timeout expires, and executor futures cannot be cancelled once
 running.  Failed jobs (error / timeout / crash) are reported but never
 stored, so a ``resume`` retries them.
 
-Known limit: once a worker has *started* sending its record, the driver
-trusts it to finish — a worker wedged mid-send (OOM thrash, SIGSTOP)
-would block the receive.  A job that hangs before sending (the common
-hang mode: world build, campaign, SAT) is always caught by the timeout.
+Each worker's record is received by a dedicated daemon thread blocking on
+the pipe and posting to a queue, so the driver thread never blocks on a
+receive.  A worker wedged *mid-send* (OOM thrash, SIGSTOP) therefore
+cannot escape the per-job timeout: the deadline scan terminates the
+process, the receiver thread's pending ``recv`` fails with EOF, and the
+job is reported as a timeout.
+
+Fork-with-threads note: on Linux the pool forks, and once the first
+receiver thread exists later forks happen in a multithreaded parent.
+That is safe *here* because the forked child (:func:`_child_main`) never
+touches any lock the receiver threads use — it only rebuilds the job
+spec, runs the simulation, and writes to its own pipe end — but new
+shared state on the worker side of the fork must keep it that way.
 """
 
 from __future__ import annotations
 
 import multiprocessing
+import queue as queue_module
 import sys
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.core.pipeline import PipelineResult
 from repro.iclab.dataset import Dataset
@@ -40,6 +53,7 @@ from repro.runner.results import (
 from repro.runner.spec import JobSpec
 from repro.runner.store import SCHEMA_VERSION, ResultStore
 from repro.scenario.world import World, build_world
+from repro.util.profiling import StageTimer
 
 ProgressFn = Callable[[str], None]
 
@@ -52,29 +66,36 @@ class JobOutcome:
     result; sweep workers keep only ``record``.  The record — dominated
     by the serialized :class:`PipelineResult` — is built lazily, so
     in-process callers that never store it pay nothing for it.
+    ``perf`` is the run's stage-timer snapshot (wall seconds per stage
+    plus solver/routing counters).
     """
 
     job: JobSpec
     world: World
     dataset: Dataset
     result: PipelineResult
+    perf: Optional[Dict[str, Any]] = None
     _record: Optional[Dict[str, Any]] = None
 
     @property
     def record(self) -> Dict[str, Any]:
         if self._record is None:
             self._record = _build_record(
-                self.job, self.world, self.dataset, self.result
+                self.job, self.world, self.dataset, self.result, self.perf
             )
         return self._record
 
 
 def _build_record(
-    job: JobSpec, world: World, dataset: Dataset, result: PipelineResult
+    job: JobSpec,
+    world: World,
+    dataset: Dataset,
+    result: PipelineResult,
+    perf: Optional[Dict[str, Any]] = None,
 ) -> Dict[str, Any]:
     stats = dataset.stats()
     true_censors = sorted(world.deployment.censor_asns)
-    return {
+    record = {
         "schema": SCHEMA_VERSION,
         "job_id": job.job_id,
         "label": job.label,
@@ -94,18 +115,45 @@ def _build_record(
         "summary": summarize_result(result, true_censors),
         "result": result.to_dict(),
     }
+    if perf is not None:
+        record["perf"] = perf
+    return record
 
 
-def run_job(job: JobSpec) -> JobOutcome:
-    """Execute one job end-to-end in this process."""
-    world = build_world(job.scenario_config())
-    dataset = world.run_campaign()
+def run_job(job: JobSpec, timer: Optional[StageTimer] = None) -> JobOutcome:
+    """Execute one job end-to-end in this process.
+
+    A :class:`StageTimer` is threaded through the world's platform, path
+    oracle, and the pipeline; pass your own to aggregate across jobs, or
+    read the default one back from ``outcome.perf``.
+    """
+    if timer is None:
+        timer = StageTimer()
+    started = time.perf_counter()
+    with timer.stage("world.build"):
+        world = build_world(job.scenario_config())
+    world.oracle.timer = timer
+    world.platform.timer = timer
+    with timer.stage("campaign"):
+        dataset = world.run_campaign()
     pipeline = world.pipeline(job.pipeline_config())
-    if job.without_churn:
-        result = pipeline.run_without_churn(dataset)
-    else:
-        result = pipeline.run(dataset)
-    return JobOutcome(job=job, world=world, dataset=dataset, result=result)
+    pipeline.timer = timer
+    with timer.stage("pipeline"):
+        if job.without_churn:
+            result = pipeline.run_without_churn(dataset)
+        else:
+            result = pipeline.run(dataset)
+    timer.add("job.total", time.perf_counter() - started)
+    route_stats = world.oracle.routes.stats
+    for name, value in route_stats.as_dict().items():
+        timer.count(f"routing.{name}", value)
+    return JobOutcome(
+        job=job,
+        world=world,
+        dataset=dataset,
+        result=result,
+        perf=timer.snapshot(),
+    )
 
 
 def _failure_record(job: JobSpec, status: str, error: str) -> Dict[str, Any]:
@@ -137,14 +185,19 @@ def _child_main(job_payload: Dict[str, Any], conn) -> None:
 
 
 def _slim(record: Dict[str, Any]) -> Dict[str, Any]:
-    """A record without its full ``result`` payload.
+    """A record without its full ``result`` payload or perf snapshot.
 
     The serialized :class:`PipelineResult` dominates a record's size;
     keeping it for every job of a large sweep would scale the driver's
-    memory with total sweep output.  The store always holds the full
-    record — read it back from there when the solutions are needed.
+    memory with total sweep output.  ``perf`` is dropped too so cache-hit
+    records (which never had one) and freshly executed records compare
+    equal.  The store holds both — read them back from there.
     """
-    return {key: value for key, value in record.items() if key != "result"}
+    return {
+        key: value
+        for key, value in record.items()
+        if key not in ("result", "perf")
+    }
 
 
 @dataclass
@@ -253,6 +306,48 @@ def _pool_context():
     return multiprocessing.get_context()
 
 
+class _Worker:
+    """One in-flight job: its process, pipe, and receiver thread."""
+
+    __slots__ = ("job", "process", "conn", "started")
+
+    def __init__(self, ctx, job: JobSpec, completions) -> None:
+        self.job = job
+        parent_conn, child_conn = ctx.Pipe(duplex=False)
+        self.process = ctx.Process(
+            target=_child_main, args=(job.to_dict(), child_conn)
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.started = time.monotonic()
+        # The receiver owns the blocking recv so the driver thread never
+        # does; a daemon thread can't hold up interpreter exit even if the
+        # worker wedges forever.
+        receiver = threading.Thread(
+            target=_receive, args=(job.job_id, parent_conn, completions),
+            daemon=True,
+        )
+        receiver.start()
+
+    def close(self, terminate: bool) -> None:
+        if terminate and self.process.is_alive():
+            self.process.terminate()
+        self.process.join()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+def _receive(job_id: str, conn, completions) -> None:
+    try:
+        record = conn.recv()
+    except (EOFError, OSError):
+        record = None
+    completions.put((job_id, record))
+
+
 def _run_parallel(
     jobs: Sequence[JobSpec],
     workers: int,
@@ -262,91 +357,88 @@ def _run_parallel(
     """A terminate-capable pool: one process per in-flight job."""
     ctx = _pool_context()
     pending = deque(jobs)
-    active: Dict[str, Any] = {}  # job_id -> (job, process, conn, started)
+    active: Dict[str, _Worker] = {}
+    completions: "queue_module.Queue[Tuple[str, Optional[Dict[str, Any]]]]" = (
+        queue_module.Queue()
+    )
 
     try:
-        _drain(ctx, pending, active, workers, timeout, handle)
+        while pending or active:
+            while pending and len(active) < workers:
+                job = pending.popleft()
+                active[job.job_id] = _Worker(ctx, job, completions)
+
+            # Drain completed records first so a record racing a deadline
+            # is never misreported as a timeout.
+            try:
+                job_id, record = completions.get(timeout=0.02)
+            except queue_module.Empty:
+                job_id, record = None, None
+            if job_id is not None:
+                worker = active.pop(job_id, None)
+                if worker is not None:
+                    elapsed = time.monotonic() - worker.started
+                    if record is None:
+                        # Receiver hit EOF: the worker died mid-record or
+                        # before sending.
+                        worker.close(terminate=True)
+                        record = _failure_record(
+                            worker.job,
+                            STATUS_CRASH,
+                            "worker died with exit code "
+                            f"{worker.process.exitcode}",
+                        )
+                    else:
+                        worker.close(terminate=False)
+                    handle(worker.job, record, elapsed)
+
+            if timeout is not None:
+                now = time.monotonic()
+                for job_id, worker in list(active.items()):
+                    if now - worker.started <= timeout:
+                        continue
+                    # Deadline passed.  The record may still be sitting in
+                    # the queue (received between scans): drain once more
+                    # before declaring a timeout.
+                    drained: List[Tuple[str, Optional[Dict[str, Any]]]] = []
+                    timed_out_record: Optional[Dict[str, Any]] = None
+                    while True:
+                        try:
+                            done_id, done_record = completions.get_nowait()
+                        except queue_module.Empty:
+                            break
+                        if done_id == job_id:
+                            timed_out_record = done_record
+                        else:
+                            drained.append((done_id, done_record))
+                    for item in drained:
+                        completions.put(item)
+                    elapsed = now - worker.started
+                    del active[job_id]
+                    if timed_out_record is not None:
+                        worker.close(terminate=False)
+                        handle(worker.job, timed_out_record, elapsed)
+                        continue
+                    # Terminating the sender unblocks the receiver thread
+                    # (EOF), whose late completion is ignored because the
+                    # job is no longer active.
+                    worker.close(terminate=True)
+                    handle(
+                        worker.job,
+                        _failure_record(
+                            worker.job,
+                            STATUS_TIMEOUT,
+                            f"exceeded {timeout:.1f}s",
+                        ),
+                        elapsed,
+                    )
     finally:
         # On KeyboardInterrupt or a handler failure (e.g. the store's
         # disk filling), live non-daemon workers would otherwise be
         # joined by multiprocessing's atexit hook — a hung job would
         # block interpreter exit indefinitely.
-        for _, process, conn, _ in active.values():
-            if process.is_alive():
-                process.terminate()
-            process.join()
-            conn.close()
-
-
-def _drain(
-    ctx,
-    pending: deque,
-    active: Dict[str, Any],
-    workers: int,
-    timeout: Optional[float],
-    handle: Callable[[JobSpec, Dict[str, Any], float], None],
-) -> None:
-    while pending or active:
-        while pending and len(active) < workers:
-            job = pending.popleft()
-            parent_conn, child_conn = ctx.Pipe(duplex=False)
-            process = ctx.Process(
-                target=_child_main, args=(job.to_dict(), child_conn)
-            )
-            process.start()
-            child_conn.close()
-            active[job.job_id] = (job, process, parent_conn, time.monotonic())
-
-        finished: List[str] = []
-        for job_id, (job, process, conn, started) in list(active.items()):
-            record: Optional[Dict[str, Any]] = None
-            if conn.poll(0):
-                try:
-                    record = conn.recv()
-                except EOFError:
-                    record = _failure_record(
-                        job, STATUS_CRASH, "worker pipe closed mid-record"
-                    )
-            elif (
-                timeout is not None
-                and time.monotonic() - started > timeout
-            ):
-                # Grace poll: the record may have landed while other
-                # workers were being handled; a finished job must not be
-                # killed and misreported as a timeout.
-                try:
-                    record = conn.recv() if conn.poll(0.05) else None
-                except EOFError:
-                    record = None
-                if record is None:
-                    process.terminate()
-                    record = _failure_record(
-                        job, STATUS_TIMEOUT, f"exceeded {timeout:.1f}s"
-                    )
-            elif not process.is_alive():
-                # The record may have landed between the poll above and the
-                # liveness check; look once more before declaring a crash.
-                # A killed worker's closed pipe also reads as "ready", so
-                # the recv itself may still hit EOF.
-                try:
-                    record = conn.recv() if conn.poll(0.05) else None
-                except EOFError:
-                    record = None
-                if record is None:
-                    record = _failure_record(
-                        job,
-                        STATUS_CRASH,
-                        f"worker died with exit code {process.exitcode}",
-                    )
-            if record is not None:
-                process.join()
-                conn.close()
-                finished.append(job_id)
-                handle(job, record, time.monotonic() - started)
-        for job_id in finished:
-            del active[job_id]
-        if not finished:
-            time.sleep(0.02)
+        for worker in active.values():
+            worker.close(terminate=True)
 
 
 __all__ = [

@@ -1,10 +1,25 @@
-"""Content-addressed on-disk result store.
+"""Content-addressed on-disk result store with result sidecars.
 
-Records are JSON files keyed by the job's content hash
-(``jobs/<job_id>.json``), written atomically and byte-deterministically:
-the same job run anywhere serializes to the same bytes, so a store can be
-diffed, rsynced, or rebuilt worker-by-worker without coordination.  Sweep
-manifests (``sweeps/<name>.json``) persist the expanded grid's spec so an
+Records are JSON files keyed by the job's content hash, written atomically
+and byte-deterministically: the same job run anywhere serializes to the
+same bytes, so a store can be diffed, rsynced, or rebuilt worker-by-worker
+without coordination.  Each job occupies up to three files:
+
+- ``jobs/<job_id>.json`` — the *summary record*: identity, status, world
+  and dataset shape, and the scored summary.  Small (a few KB) and
+  byte-deterministic; this is all that cache-hit checks, ``resume``,
+  ``list``, and ``report`` ever read.
+- ``jobs/<job_id>.result.json`` — the *result sidecar*: the full
+  serialized :class:`~repro.core.pipeline.PipelineResult`.  Dominates the
+  payload by orders of magnitude; also byte-deterministic.  Loaded only
+  when the per-problem solutions are actually needed.
+- ``jobs/<job_id>.perf.json`` — the *perf sidecar*: stage timings and
+  counters from the run.  Host- and load-dependent by nature, hence kept
+  out of both canonical files; feeds ``repro-runner perf``.
+
+The sidecars are written before the summary record, so the summary's
+existence implies the result is complete on disk.  Sweep manifests
+(``sweeps/<name>.json``) persist the expanded grid's spec so an
 interrupted sweep can be resumed by re-expanding and running only the
 jobs with no stored record.
 """
@@ -19,7 +34,12 @@ from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.runner.spec import JobSpec, SWEEP_NAME_PATTERN, SweepSpec
 
-SCHEMA_VERSION = 1
+# Schema 2: the serialized result moved to a sidecar file.  Schema-1
+# records (result embedded) read as misses and re-run on resume.
+SCHEMA_VERSION = 2
+
+RESULT_SUFFIX = ".result.json"
+PERF_SUFFIX = ".perf.json"
 
 
 def encode_record(record: Dict[str, Any]) -> bytes:
@@ -43,6 +63,19 @@ def _atomic_write(path: Path, data: bytes) -> None:
         raise
 
 
+def _read_json(path: Path) -> Optional[Dict[str, Any]]:
+    if not path.is_file():
+        return None
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError):
+        return None
+    if not isinstance(payload, dict):
+        return None
+    return payload
+
+
 class ResultStore:
     """A directory of job records plus sweep manifests."""
 
@@ -58,67 +91,105 @@ class ResultStore:
     def path_for(self, job_id: str) -> Path:
         return self.jobs_dir / f"{job_id}.json"
 
+    def result_path_for(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}{RESULT_SUFFIX}"
+
+    def perf_path_for(self, job_id: str) -> Path:
+        return self.jobs_dir / f"{job_id}{PERF_SUFFIX}"
+
     def has(self, job_id: str) -> bool:
         """Whether a usable record for ``job_id`` exists (a cache hit).
 
-        Cheap by design — ``missing``/``list`` call this per job, and
-        parsing full records (dominated by the serialized result) would
-        read the whole store just to count.  A byte probe for the
-        canonical top-level schema line decides the common case; JSON
-        escapes newlines inside strings, so the marker cannot occur in
-        a value.  Anything unexpected falls back to a full :meth:`get`.
+        Reads (and validates) only the summary record — O(summary), not
+        O(serialized result) — which is what keeps ``missing``/``list``
+        cheap over stores with thousands of records.
         """
-        path = self.path_for(job_id)
-        if not path.is_file():
-            return False
-        try:
-            data = path.read_bytes()
-        except OSError:
-            return False
-        # Canonical records end with the top-level close brace at column
-        # zero — every nested close is indented — so this also rejects
-        # truncated files without parsing.
-        if (
-            data.endswith(b"\n}\n")
-            and f'\n "schema": {SCHEMA_VERSION},'.encode("utf-8") in data
-        ):
-            return True
         return self.get(job_id) is not None
 
     def get(self, job_id: str) -> Optional[Dict[str, Any]]:
-        """The stored record, or None.
+        """The stored summary record, or None.
 
         Records written under a different schema version — or corrupt /
         truncated files (the store is pitched as rsync-able) — read as
         misses, so the job re-runs rather than crashing every store
-        operation or serving a stale-layout record.
+        operation or serving a stale-layout record.  The serialized
+        result is *not* embedded; see :meth:`get_result`.
         """
-        path = self.path_for(job_id)
-        if not path.is_file():
-            return None
-        try:
-            with open(path, "r", encoding="utf-8") as handle:
-                record = json.load(handle)
-        except (json.JSONDecodeError, UnicodeDecodeError, OSError):
-            return None
-        if not isinstance(record, dict) or record.get("schema") != SCHEMA_VERSION:
+        record = _read_json(self.path_for(job_id))
+        if record is None or record.get("schema") != SCHEMA_VERSION:
             return None
         return record
 
+    def get_result(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The serialized ``PipelineResult`` payload from the sidecar.
+
+        None when the job has no stored record, the sidecar is missing or
+        corrupt, or the record predates the sidecar split.
+        """
+        payload = _read_json(self.result_path_for(job_id))
+        if payload is None or payload.get("schema") != SCHEMA_VERSION:
+            return None
+        return payload.get("result")
+
+    def get_perf(self, job_id: str) -> Optional[Dict[str, Any]]:
+        """The perf sidecar (stage timings/counters), or None.
+
+        Perf data is advisory and non-canonical: absent for cache-hit
+        re-runs of old stores and never part of determinism guarantees.
+        """
+        return _read_json(self.perf_path_for(job_id))
+
     def put(self, record: Dict[str, Any]) -> str:
-        """Store a record under its job's content address, atomically."""
+        """Store a record under its job's content address, atomically.
+
+        The bulky ``result`` and host-dependent ``perf`` entries are
+        split into their sidecar files; the summary record is written
+        last, as the commit point.
+        """
         job_id = record.get("job_id")
         if not job_id:
             job_id = JobSpec.from_dict(record["job"]).job_id
-        _atomic_write(self.path_for(job_id), encode_record(record))
+        summary = {
+            key: value
+            for key, value in record.items()
+            if key not in ("result", "perf")
+        }
+        if "result" in record:
+            _atomic_write(
+                self.result_path_for(job_id),
+                encode_record(
+                    {
+                        "schema": SCHEMA_VERSION,
+                        "job_id": job_id,
+                        "result": record["result"],
+                    }
+                ),
+            )
+        if "perf" in record:
+            _atomic_write(
+                self.perf_path_for(job_id),
+                encode_record(
+                    {
+                        "schema": SCHEMA_VERSION,
+                        "job_id": job_id,
+                        "perf": record["perf"],
+                    }
+                ),
+            )
+        _atomic_write(self.path_for(job_id), encode_record(summary))
         return job_id
 
     def job_ids(self) -> List[str]:
-        """All stored job ids, sorted."""
-        return sorted(path.stem for path in self.jobs_dir.glob("*.json"))
+        """All stored job ids, sorted (sidecar files excluded)."""
+        return sorted(
+            path.stem
+            for path in self.jobs_dir.glob("*.json")
+            if not path.name.endswith(RESULT_SUFFIX)
+            and not path.name.endswith(PERF_SUFFIX)
+        )
 
     def records(self) -> Iterator[Dict[str, Any]]:
-        """All stored records, in job-id order."""
+        """All stored summary records, in job-id order."""
         for job_id in self.job_ids():
             record = self.get(job_id)
             if record is not None:
@@ -156,7 +227,9 @@ class ResultStore:
                 payload = json.load(handle)
         except (json.JSONDecodeError, UnicodeDecodeError) as exc:
             raise ValueError(f"sweep manifest {name!r} is corrupt: {exc}")
-        if payload.get("schema") != SCHEMA_VERSION:
+        if payload.get("schema") not in (1, SCHEMA_VERSION):
+            # Manifests carry only the spec, whose layout is unchanged
+            # since schema 1 — accept both so old sweeps stay resumable.
             raise ValueError(
                 f"sweep manifest {name!r} has schema "
                 f"{payload.get('schema')!r}, expected {SCHEMA_VERSION}"
@@ -168,4 +241,10 @@ class ResultStore:
         return sorted(path.stem for path in self.sweeps_dir.glob("*.json"))
 
 
-__all__ = ["ResultStore", "encode_record", "SCHEMA_VERSION"]
+__all__ = [
+    "ResultStore",
+    "encode_record",
+    "SCHEMA_VERSION",
+    "RESULT_SUFFIX",
+    "PERF_SUFFIX",
+]

@@ -78,7 +78,13 @@ class IpToAsEpoch:
 
 
 class IpToAsDatabase:
-    """Historical IP-to-AS data: consecutive epochs, queried by timestamp."""
+    """Historical IP-to-AS data: consecutive epochs, queried by timestamp.
+
+    Lookups are memoized per ``(epoch, address)``: traceroute conversion
+    resolves the same router addresses tens of thousands of times per
+    campaign, while the set of distinct addresses is small.  The epochs are
+    immutable after construction, so the memo can never go stale.
+    """
 
     def __init__(self, epochs: Sequence[IpToAsEpoch]) -> None:
         if not epochs:
@@ -89,6 +95,20 @@ class IpToAsDatabase:
                 raise ValueError("epochs overlap")
         self._epochs = list(ordered)
         self._starts = [epoch.start for epoch in self._epochs]
+        self._caches: List[Dict[int, Optional[int]]] = [
+            {} for _ in self._epochs
+        ]
+
+    def _index_at(self, timestamp: int) -> int:
+        index = bisect.bisect_right(self._starts, timestamp) - 1
+        return max(0, min(index, len(self._epochs) - 1))
+
+    def epoch_index_at(self, timestamp: int) -> int:
+        """The ordinal of the epoch covering ``timestamp`` (clamped).
+
+        A stable cache key for callers memoizing per-epoch derived data.
+        """
+        return self._index_at(timestamp)
 
     def epoch_at(self, timestamp: int) -> IpToAsEpoch:
         """The epoch covering ``timestamp``.
@@ -97,13 +117,31 @@ class IpToAsDatabase:
         last use the last — mirroring how researchers extrapolate from the
         nearest snapshot.
         """
-        index = bisect.bisect_right(self._starts, timestamp) - 1
-        index = max(0, min(index, len(self._epochs) - 1))
-        return self._epochs[index]
+        return self._epochs[self._index_at(timestamp)]
 
     def lookup(self, address: int, timestamp: int) -> Optional[int]:
         """Map ``address`` to an ASN using the epoch at ``timestamp``."""
-        return self.epoch_at(timestamp).table.lookup(address)
+        return self.resolver_at(timestamp)(address)
+
+    def resolver_at(self, timestamp: int):
+        """A memoized ``address -> Optional[ASN]`` resolver for one instant.
+
+        Callers mapping many addresses at the same timestamp (traceroute
+        conversion) fetch the resolver once and skip the per-call epoch
+        bisection.
+        """
+        index = self._index_at(timestamp)
+        cache = self._caches[index]
+        table_lookup = self._epochs[index].table.lookup
+
+        def resolve(address: int) -> Optional[int]:
+            try:
+                return cache[address]
+            except KeyError:
+                asn = cache[address] = table_lookup(address)
+                return asn
+
+        return resolve
 
     @property
     def num_epochs(self) -> int:

@@ -17,7 +17,8 @@ paper's discard rule (4), "more than one AS-level path".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from math import log
+from typing import List, NamedTuple, Optional, Sequence, Tuple
 
 from repro.netsim.path import RouterPath
 from repro.util.rng import DeterministicRNG
@@ -35,9 +36,12 @@ class TracerouteParams:
     #                                        the pair churned very recently
 
 
-@dataclass(frozen=True)
-class TracerouteHop:
-    """One line of traceroute output: an address or a ``*``."""
+class TracerouteHop(NamedTuple):
+    """One line of traceroute output: an address or a ``*``.
+
+    A NamedTuple rather than a dataclass: tens of thousands are built per
+    campaign and tuple construction is the cheapest immutable record.
+    """
 
     index: int
     address: Optional[int]  # None == non-responsive ("*")
@@ -70,10 +74,107 @@ def simulate_traceroute(
     router_path: RouterPath,
     rng: DeterministicRNG,
     params: TracerouteParams = TracerouteParams(),
+    plan_cache: Optional[dict] = None,
 ) -> Traceroute:
-    """Run one simulated traceroute over ``router_path``."""
+    """Run one simulated traceroute over ``router_path``.
+
+    The per-hop loop draws the same RNG stream as the naive formulation
+    (one uniform per decision, one exponential per responsive hop) with
+    the method lookups hoisted — this function runs three times for every
+    test of a campaign.  ``plan_cache`` (a plain dict owned by the
+    caller, e.g. the measurement platform) memoizes the per-path probe
+    plan; without one the plan is rebuilt per run.
+    """
     if rng.chance(params.error_probability):
         return Traceroute(hops=(), destination_reached=False, error=True)
+    uniform = rng.random
+    truncation_probability = params.truncation_probability
+    nonresponse_probability = params.hop_nonresponse_probability
+    if not (0.0 < truncation_probability < 1.0) or not (
+        0.0 < nonresponse_probability < 1.0
+    ):
+        # Degenerate probabilities change the draw count (chance() skips
+        # the draw); take the general path to keep the stream identical.
+        return _simulate_traceroute_general(router_path, rng, params)
+    return _run_traceroute_plan(
+        _trace_plan(router_path, params, plan_cache), rng, params
+    )
+
+
+def _trace_plan(
+    router_path: RouterPath,
+    params: TracerouteParams,
+    cache: Optional[dict],
+) -> List[Tuple[int, Optional[int], float]]:
+    """(hop_index, address, base_rtt) triples for the probe loop.
+
+    Plans let the three runs per test unpack C-level tuples instead of
+    re-reading dataclass attributes per hop.  The cache is keyed by
+    identity — router paths are interned for the owning platform's
+    lifetime — with the objects themselves kept in the value to make an
+    id-collision after garbage collection impossible to mistake for a
+    hit.
+    """
+    if cache is None:
+        rtt_step = 2 * params.per_hop_rtt
+        return [
+            (hop.hop_index, hop.address, (hop.hop_index + 1) * rtt_step)
+            for hop in router_path.hops
+        ]
+    key = (id(router_path), id(params))
+    plan = cache.get(key)
+    if plan is None or plan[0] is not router_path or plan[1] is not params:
+        rtt_step = 2 * params.per_hop_rtt
+        plan = cache[key] = (
+            router_path,
+            params,
+            [
+                (hop.hop_index, hop.address, (hop.hop_index + 1) * rtt_step)
+                for hop in router_path.hops
+            ],
+        )
+    return plan[2]
+
+
+def _run_traceroute_plan(
+    plan: List[Tuple[int, Optional[int], float]],
+    rng: DeterministicRNG,
+    params: TracerouteParams,
+) -> Traceroute:
+    uniform = rng.random
+    truncation_probability = params.truncation_probability
+    nonresponse_probability = params.hop_nonresponse_probability
+    # expovariate(lambd) is -log(1 - random())/lambd; inlined with the
+    # identical operation order so the value stream is bit-equal.
+    jitter_rate = 2.0 / params.per_hop_rtt if params.per_hop_rtt > 0 else None
+    hops: List[TracerouteHop] = []
+    append = hops.append
+    # Direct tuple construction: the generated NamedTuple __new__ is a
+    # Python-level lambda, measurable at this call volume.
+    new_hop = tuple.__new__
+    truncated = False
+    for hop_index, address, base_rtt in plan:
+        if uniform() < truncation_probability:
+            truncated = True
+            break
+        if uniform() < nonresponse_probability:
+            append(new_hop(TracerouteHop, (hop_index, None, None)))
+            continue
+        if jitter_rate is not None:
+            rtt = base_rtt + -log(1.0 - uniform()) / jitter_rate
+        else:
+            rtt = base_rtt
+        append(new_hop(TracerouteHop, (hop_index, address, rtt)))
+    reached = not truncated and bool(hops) and hops[-1].responded
+    return Traceroute(hops=tuple(hops), destination_reached=reached)
+
+
+def _simulate_traceroute_general(
+    router_path: RouterPath,
+    rng: DeterministicRNG,
+    params: TracerouteParams,
+) -> Traceroute:
+    """The unspecialized per-hop loop (handles 0/1 probabilities)."""
     hops: List[TracerouteHop] = []
     truncated = False
     for hop in router_path.hops:
@@ -97,6 +198,7 @@ def simulate_traceroute_triplet(
     rng: DeterministicRNG,
     params: TracerouteParams = TracerouteParams(),
     racing_router_path: Optional[RouterPath] = None,
+    plan_cache: Optional[dict] = None,
 ) -> List[Traceroute]:
     """The three traceroutes ICLab records per test.
 
@@ -111,7 +213,9 @@ def simulate_traceroute_triplet(
     for index in range(3):
         path = racing_router_path if index == race_index else router_path
         assert path is not None
-        runs.append(simulate_traceroute(path, rng, params))
+        runs.append(
+            simulate_traceroute(path, rng, params, plan_cache=plan_cache)
+        )
     return runs
 
 

@@ -6,6 +6,7 @@ pipeline (per-day / per-week / per-month / per-year CNF construction) lives
 in :mod:`repro.util.timeutil` so that every module buckets identically.
 """
 
+from repro.util.profiling import StageTimer
 from repro.util.rng import DeterministicRNG, derive_seed
 from repro.util.timeutil import (
     DAY,
@@ -22,6 +23,7 @@ from repro.util.timeutil import (
 
 __all__ = [
     "DeterministicRNG",
+    "StageTimer",
     "derive_seed",
     "MINUTE",
     "HOUR",

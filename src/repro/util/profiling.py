@@ -1,0 +1,132 @@
+"""Lightweight stage timing for the end-to-end hot path.
+
+A :class:`StageTimer` accumulates wall-clock seconds and call counts under
+named stages ("campaign", "pipeline.solve", ...) plus free-form integer
+counters (routing tables computed, unique CNFs solved).  It is woven
+through the platform, the path oracle, and the localization pipeline so a
+job run can report *where* its time went — the data behind the runner's
+``perf`` report and the performance trajectory in ``BENCH_*.json``.
+
+Design constraints:
+
+- **Zero cost when absent.**  Every instrumented component holds
+  ``timer: Optional[StageTimer] = None`` and guards with a truth test, so
+  library users who never ask for timings pay one ``if``.
+- **No effect on results.**  Timings never enter ``PipelineResult`` or the
+  canonical (content-addressed) part of a job record; the store writes
+  them to a separate non-canonical sidecar.  Byte-determinism of records
+  is preserved.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Callable, Dict, Iterator, Optional
+
+
+class StageTimer:
+    """Accumulates per-stage wall time, call counts, and counters.
+
+    >>> timer = StageTimer(clock=iter([0.0, 1.5]).__next__)
+    >>> with timer.stage("solve"):
+    ...     pass
+    >>> timer.seconds("solve")
+    1.5
+    """
+
+    __slots__ = ("_clock", "_seconds", "_calls", "_counters")
+
+    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+        self._clock = clock
+        self._seconds: Dict[str, float] = {}
+        self._calls: Dict[str, int] = {}
+        self._counters: Dict[str, int] = {}
+
+    # -- stages ----------------------------------------------------------
+
+    @contextmanager
+    def stage(self, name: str) -> Iterator[None]:
+        """Time a ``with`` block under ``name`` (re-entrant, accumulating)."""
+        started = self._clock()
+        try:
+            yield
+        finally:
+            self.add(name, self._clock() - started)
+
+    def add(self, name: str, seconds: float, calls: int = 1) -> None:
+        """Accumulate ``seconds`` under ``name`` without a context manager.
+
+        The manual form exists for per-call hot loops (thousands of tests
+        per campaign) where generator-based context managers would be the
+        overhead being measured.
+        """
+        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
+        self._calls[name] = self._calls.get(name, 0) + calls
+
+    def seconds(self, name: str) -> float:
+        """Accumulated seconds under ``name`` (0.0 when never hit)."""
+        return self._seconds.get(name, 0.0)
+
+    def calls(self, name: str) -> int:
+        """Number of accumulations under ``name``."""
+        return self._calls.get(name, 0)
+
+    # -- counters --------------------------------------------------------
+
+    def count(self, name: str, value: int = 1) -> None:
+        """Bump the free-form counter ``name`` by ``value``."""
+        self._counters[name] = self._counters.get(name, 0) + value
+
+    def set_counter(self, name: str, value: int) -> None:
+        """Set the counter ``name`` to ``value`` (overwrite semantics)."""
+        self._counters[name] = value
+
+    def counter(self, name: str) -> int:
+        """The current value of counter ``name`` (0 when never set)."""
+        return self._counters.get(name, 0)
+
+    # -- reporting -------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """A JSON-compatible dump: stage seconds/calls plus counters."""
+        return {
+            "stages": {
+                name: {
+                    "seconds": self._seconds[name],
+                    "calls": self._calls.get(name, 0),
+                }
+                for name in sorted(self._seconds)
+            },
+            "counters": dict(sorted(self._counters.items())),
+        }
+
+    def merge(self, snapshot: Dict[str, Any]) -> None:
+        """Fold a :meth:`snapshot` (e.g. from another job) into this timer."""
+        for name, entry in snapshot.get("stages", {}).items():
+            self.add(name, entry.get("seconds", 0.0), entry.get("calls", 0))
+        for name, value in snapshot.get("counters", {}).items():
+            self.count(name, value)
+
+
+def maybe_stage(timer: Optional[StageTimer], name: str):
+    """``timer.stage(name)`` or a no-op context, for optional-timer call sites."""
+    if timer is not None:
+        return timer.stage(name)
+    return _NULL_CONTEXT
+
+
+class _NullContext:
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc: object) -> bool:
+        return False
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+__all__ = ["StageTimer", "maybe_stage"]

@@ -1,0 +1,218 @@
+"""Performance-optimization guards.
+
+The hot-path overhaul (routing memoization, CNF dedup, propagation fast
+path) must be *invisible* in results and *pinned* in behaviour:
+
+- the determinism guard asserts the optimized pipeline output equals the
+  reference (pre-optimization) solver path byte-for-byte, on the tiny and
+  small presets, and matches golden hashes captured from the unoptimized
+  code;
+- counter regressions pin the work reductions themselves (routing tables
+  computed per campaign, unique CNFs solved per pipeline run), so a
+  future change that silently reverts a speedup fails loudly rather than
+  showing up as a vibe.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+
+import pytest
+
+from repro.core.pipeline import PipelineConfig
+from repro.core.problem import ProblemSolveCache, TomographyProblem
+from repro.core.splitting import split_observations
+from repro.core.observations import build_observations
+from repro.routing.bgp import RouteComputer
+from repro.runner import JobSpec, run_job
+from repro.scenario.world import build_world
+from repro.util.profiling import StageTimer
+
+# sha256 of json.dumps(result.to_dict(), sort_keys=True) produced by the
+# UNOPTIMIZED code (pre-overhaul), for run_job(JobSpec(preset=..., seed=0)).
+# The optimized pipeline must reproduce these bytes exactly.
+GOLDEN_SHA256 = {
+    "tiny": "0aed7f0b95d2a818088935d203395d5e78325fadea3a5b52ae890d987461b128",
+    "small": "4023553e06e99b1894105ba09f5ad23559f911ce2ff0f44599ec7d46caf13121",
+}
+
+
+def _result_sha(result) -> str:
+    blob = json.dumps(result.to_dict(), sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()
+
+
+class TestDeterminismGuard:
+    @pytest.mark.parametrize("preset", ["tiny", "small"])
+    def test_output_matches_pre_optimization_golden_hash(self, preset):
+        outcome = run_job(JobSpec(preset=preset, seed=0))
+        assert _result_sha(outcome.result) == GOLDEN_SHA256[preset]
+
+    def test_optimized_equals_reference_solver_path(
+        self, tiny_world, tiny_dataset
+    ):
+        optimized = tiny_world.pipeline(
+            PipelineConfig(optimized=True)
+        ).run(tiny_dataset)
+        reference = tiny_world.pipeline(
+            PipelineConfig(optimized=False)
+        ).run(tiny_dataset)
+        assert optimized.to_dict() == reference.to_dict()
+
+    def test_optimized_equals_reference_on_small(
+        self, small_world, small_dataset
+    ):
+        optimized = small_world.pipeline(
+            PipelineConfig(optimized=True)
+        ).run(small_dataset)
+        reference = small_world.pipeline(
+            PipelineConfig(optimized=False)
+        ).run(small_dataset)
+        assert optimized.to_dict() == reference.to_dict()
+
+    def test_per_problem_solutions_match_reference(
+        self, tiny_world, tiny_dataset
+    ):
+        observations, _ = build_observations(tiny_dataset, tiny_world.ip2as)
+        cache = ProblemSolveCache()
+        for key, group in split_observations(observations).items():
+            fast = TomographyProblem(key, group).solve(cache)
+            reference = TomographyProblem(key, group).solve_reference()
+            assert fast == reference, f"divergence on {key}"
+
+
+class TestSolveCacheCounters:
+    def test_unique_cnfs_far_fewer_than_problems(
+        self, tiny_world, tiny_dataset
+    ):
+        pipeline = tiny_world.pipeline()
+        result = pipeline.run(tiny_dataset)
+        stats = pipeline.last_solve_stats
+        assert stats is not None
+        assert stats.problems == len(result.solutions)
+        # The speedup being pinned: most problems are structural repeats,
+        # and most unique formulas close by propagation without CDCL.
+        assert stats.signature_hits > 0
+        assert stats.unique_cnfs < stats.problems
+        assert stats.unique_cnfs + stats.signature_hits == stats.problems
+        assert stats.cdcl_solves <= stats.unique_cnfs
+        assert stats.propagation_decided + stats.cdcl_solves <= stats.unique_cnfs
+
+    def test_reference_path_records_no_stats(self, tiny_world, tiny_dataset):
+        pipeline = tiny_world.pipeline(PipelineConfig(optimized=False))
+        pipeline.run(tiny_dataset)
+        assert pipeline.last_solve_stats is None
+
+
+class TestRoutingCounters:
+    def test_tables_computed_bounded_by_destination_families(self):
+        # Churn discovery computes, per destination: num_salts salted
+        # tables plus at most one failed-link table per distinct canonical
+        # hop.  Pin that the campaign cannot silently regress to per-pair
+        # table computation.
+        world = build_world(JobSpec(preset="tiny", seed=0).scenario_config())
+        world.run_campaign()
+        stats = world.oracle.routes.stats
+        num_salts = world.oracle.config.num_salts
+        destinations = {url.dest_asn for url in world.test_list}
+        salted_budget = num_salts * len(destinations)
+        failed_tables = len(world.oracle._failed_tables)
+        assert stats.tables_computed <= salted_budget + failed_tables
+        # Per-destination families are pinned by the oracle, so repeating
+        # discovery for every pair the campaign materialized computes
+        # nothing new.
+        before = stats.tables_computed
+        for src, dst in list(world.oracle._schedules):
+            world.oracle.alternatives_for(src, dst)
+        assert stats.tables_computed == before
+
+    def test_salted_tables_shared_across_sources(self, tiny_world):
+        oracle = build_world(
+            JobSpec(preset="tiny", seed=1).scenario_config()
+        ).oracle
+        dst = next(iter(oracle.graph.registry)).asn
+        sources = [a.asn for a in oracle.graph.registry if a.asn != dst][:5]
+        for src in sources:
+            oracle.alternatives_for(src, dst)
+        # One family of salted tables serves every source.
+        assert len(oracle._salted_tables) == 1
+        assert len(oracle._salted_tables[dst]) == oracle.config.num_salts
+
+
+class TestRouteComputerLru:
+    def test_lru_evicts_one_cold_entry_not_the_working_set(self, tiny_world):
+        computer = RouteComputer(tiny_world.graph, cache_size=2)
+        asns = [a.asn for a in tiny_world.graph.registry][:3]
+        a, b, c = asns
+        computer.routing_table(a)
+        computer.routing_table(b)
+        computer.routing_table(a)  # refresh a: b becomes least recent
+        computer.routing_table(c)  # evicts b only
+        assert computer.stats.cache_evictions == 1
+        computed = computer.stats.tables_computed
+        computer.routing_table(a)  # still cached
+        computer.routing_table(c)  # still cached
+        assert computer.stats.tables_computed == computed
+        computer.routing_table(b)  # evicted: must recompute
+        assert computer.stats.tables_computed == computed + 1
+
+    def test_cache_size_zero_disables_caching(self, tiny_world):
+        computer = RouteComputer(tiny_world.graph, cache_size=0)
+        asn = next(iter(tiny_world.graph.registry)).asn
+        computer.routing_table(asn)
+        computer.routing_table(asn)
+        assert computer.stats.tables_computed == 2
+        assert computer.stats.cache_hits == 0
+
+    def test_identical_tables_after_eviction(self, tiny_world):
+        # Eviction must affect performance only, never results.
+        unbounded = RouteComputer(tiny_world.graph)
+        tight = RouteComputer(tiny_world.graph, cache_size=1)
+        asns = [a.asn for a in tiny_world.graph.registry][:4]
+        for asn in asns:
+            assert (
+                tight.routing_table(asn).paths
+                == unbounded.routing_table(asn).paths
+            )
+        for asn in reversed(asns):
+            assert (
+                tight.routing_table(asn).paths
+                == unbounded.routing_table(asn).paths
+            )
+
+
+class TestPerfInstrumentation:
+    def test_run_job_reports_stage_timings_and_counters(self):
+        outcome = run_job(
+            JobSpec(
+                preset="tiny",
+                seed=2,
+                duration_days=3,
+                num_urls=4,
+                num_vantage_points=5,
+            )
+        )
+        perf = outcome.perf
+        assert perf is not None
+        stages = perf["stages"]
+        for stage in ("world.build", "campaign", "pipeline", "job.total"):
+            assert stages[stage]["seconds"] >= 0.0
+            assert stages[stage]["calls"] >= 1
+        assert stages["campaign.tests"]["calls"] > 0
+        assert stages["routing.schedules"]["calls"] > 0
+        counters = perf["counters"]
+        assert counters["routing.tables_computed"] > 0
+        assert counters["solve.problems"] > 0
+        # The canonical record must not embed host-dependent timings.
+        assert "perf" in outcome.record
+        assert outcome.record["perf"] is perf
+
+    def test_external_timer_aggregates_across_jobs(self):
+        timer = StageTimer()
+        mini = dict(duration_days=2, num_urls=3, num_vantage_points=4)
+        run_job(JobSpec(preset="tiny", seed=3, **mini), timer=timer)
+        first_total = timer.seconds("job.total")
+        run_job(JobSpec(preset="tiny", seed=4, **mini), timer=timer)
+        assert timer.seconds("job.total") > first_total
+        assert timer.calls("job.total") == 2

@@ -173,3 +173,49 @@ class TestRouteComputer:
         computer = RouteComputer(graph)
         assert computer.routing_table(5) is computer.routing_table(5)
         assert computer.routing_table(5) is not computer.routing_table(5, salt=1)
+
+
+class TestIncrementalFailedTables:
+    """The incremental single-link-failure recomputation must be
+    indistinguishable from a full recomputation — pinned exhaustively
+    over every (destination, link, salt) of a generated topology."""
+
+    @pytest.mark.parametrize("seed", [0, 3, 11])
+    def test_matches_full_recomputation_exhaustively(self, seed):
+        graph = generate_topology(
+            TopologyConfig(
+                seed=seed,
+                country_codes=("US", "DE", "CN", "JP", "IR"),
+                num_tier1=3,
+            )
+        )
+        warm = RouteComputer(graph)      # base cached → incremental path
+        cold = RouteComputer(graph, cache_size=0)  # always full compute
+        links = [link.key() for link in graph.links()]
+        for dst in graph.registry.asns[:8]:
+            for salt in (0, 1):
+                warm.routing_table(dst, salt=salt)  # prime the base
+                for link in links:
+                    incremental = warm.routing_table(
+                        dst, salt=salt, down_links=[link]
+                    )
+                    full = cold.routing_table(
+                        dst, salt=salt, down_links=[link]
+                    )
+                    assert incremental.paths == full.paths, (dst, salt, link)
+        assert warm.stats.tables_incremental > 0
+
+    def test_multi_link_failures_take_the_full_path(self):
+        graph = diamond_graph()
+        computer = RouteComputer(graph)
+        computer.routing_table(5)
+        computer.routing_table(5, down_links=[(3, 5), (4, 5)])
+        assert computer.stats.tables_incremental == 0
+
+    def test_incremental_without_cached_base_falls_back(self):
+        graph = diamond_graph()
+        computer = RouteComputer(graph)
+        # No intact table cached yet: the failed table still computes.
+        table = computer.routing_table(5, down_links=[(3, 5)])
+        assert computer.stats.tables_incremental == 0
+        assert table.path_from(3) is not None

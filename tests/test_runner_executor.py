@@ -157,6 +157,25 @@ class TestCli:
         out = capsys.readouterr().out
         assert "4 jobs (4 ok, 0 failed)" in out
 
+    def test_perf_report_aggregates_sidecars(self, tmp_path, capsys):
+        store = str(tmp_path)
+        assert main([
+            "--store", store, "sweep", "--name", "perfdemo",
+            "--preset", "tiny", "--num-seeds", "1", *self.CLI_MINI,
+        ]) == 0
+        capsys.readouterr()
+        assert main(["--store", store, "perf", "--name", "perfdemo"]) == 0
+        out = capsys.readouterr().out
+        assert "stage timings over 1 jobs" in out
+        assert "job.total" in out
+        assert "campaign" in out
+        assert "solve.problems" in out
+        assert "slowest 1 jobs" in out
+
+    def test_perf_report_without_sidecars(self, tmp_path, capsys):
+        assert main(["--store", str(tmp_path), "perf"]) == 0
+        assert "no perf sidecars" in capsys.readouterr().out
+
     def test_dry_run_prints_plan_only(self, tmp_path, capsys):
         assert main([
             "--store", str(tmp_path), "sweep", "--preset", "tiny",

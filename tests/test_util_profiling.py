@@ -1,0 +1,84 @@
+"""StageTimer: accumulation, counters, snapshots, merge, and no-op guard."""
+
+import pytest
+
+from repro.util.profiling import StageTimer, maybe_stage
+
+
+def ticker(*values):
+    """A fake clock yielding the given instants."""
+    iterator = iter(values)
+    return lambda: next(iterator)
+
+
+class TestStageTimer:
+    def test_stage_accumulates_seconds_and_calls(self):
+        timer = StageTimer(clock=ticker(0.0, 1.5, 2.0, 2.25))
+        with timer.stage("solve"):
+            pass
+        with timer.stage("solve"):
+            pass
+        assert timer.seconds("solve") == pytest.approx(1.75)
+        assert timer.calls("solve") == 2
+
+    def test_stage_records_on_exception(self):
+        timer = StageTimer(clock=ticker(0.0, 3.0))
+        with pytest.raises(RuntimeError):
+            with timer.stage("boom"):
+                raise RuntimeError("x")
+        assert timer.seconds("boom") == pytest.approx(3.0)
+
+    def test_manual_add_and_unknown_stage(self):
+        timer = StageTimer()
+        timer.add("tests", 0.5, calls=10)
+        timer.add("tests", 0.25)
+        assert timer.seconds("tests") == pytest.approx(0.75)
+        assert timer.calls("tests") == 11
+        assert timer.seconds("never") == 0.0
+        assert timer.calls("never") == 0
+
+    def test_counters(self):
+        timer = StageTimer()
+        timer.count("tables")
+        timer.count("tables", 4)
+        timer.set_counter("override", 7)
+        assert timer.counter("tables") == 5
+        assert timer.counter("override") == 7
+        assert timer.counter("missing") == 0
+
+    def test_snapshot_is_json_compatible_and_sorted(self):
+        import json
+
+        timer = StageTimer(clock=ticker(0.0, 1.0))
+        with timer.stage("b"):
+            pass
+        timer.add("a", 0.5)
+        timer.count("n", 2)
+        snapshot = timer.snapshot()
+        assert list(snapshot["stages"]) == ["a", "b"]
+        assert snapshot["counters"] == {"n": 2}
+        json.dumps(snapshot)  # must serialize cleanly
+
+    def test_merge_folds_another_snapshot(self):
+        one = StageTimer()
+        one.add("x", 1.0, calls=2)
+        one.count("c", 3)
+        two = StageTimer()
+        two.add("x", 0.5)
+        two.merge(one.snapshot())
+        assert two.seconds("x") == pytest.approx(1.5)
+        assert two.calls("x") == 3
+        assert two.counter("c") == 3
+
+
+class TestMaybeStage:
+    def test_none_timer_is_a_noop_context(self):
+        with maybe_stage(None, "anything"):
+            value = 41 + 1
+        assert value == 42
+
+    def test_real_timer_records(self):
+        timer = StageTimer(clock=ticker(0.0, 2.0))
+        with maybe_stage(timer, "s"):
+            pass
+        assert timer.seconds("s") == pytest.approx(2.0)
