@@ -13,6 +13,7 @@ from repro.core.pipeline import PipelineConfig
 from repro.routing.bgp import RouteComputer
 from repro.sat.cnf import CNF, Clause
 from repro.sat.solver import Solver
+from repro.stream import StreamingLocalizer
 from repro.util.rng import DeterministicRNG
 
 
@@ -97,3 +98,49 @@ def test_micro_pipeline_solve(benchmark, bench_world, bench_dataset):
     stats = pipeline.last_solve_stats
     assert stats is not None and stats.unique_cnfs < stats.problems
     assert len(result.solutions) == stats.problems
+
+
+def test_micro_stream_ingest(benchmark, bench_world, bench_dataset):
+    """Streaming ingestion throughput and verdict latency.
+
+    Drains a slice of the paper-shaped campaign through the online engine
+    with a (no-op) subscriber attached, so every ingested observation pays
+    the full incremental-verdict path: ledger append, resumable unit
+    propagation, snapshot, and delta detection.  ``extra_info`` records
+    events/sec and mean per-observation latency — the headline numbers of
+    the streaming subsystem's perf trajectory.
+    """
+    observations, _ = build_observations(
+        bench_dataset, bench_world.ip2as
+    )
+    slice_size = min(len(observations), 6000)
+    feed = observations[:slice_size]
+    stats_holder = {}
+
+    def drain():
+        engine = StreamingLocalizer(
+            bench_world.ip2as,
+            bench_world.country_by_asn,
+            config=PipelineConfig(),
+        )
+        engine.subscribe(lambda event: None)
+        for observation in feed:
+            engine.ingest_observation(observation)
+        result = engine.drain()
+        stats_holder["stats"] = engine.stats
+        return result
+
+    result = benchmark.pedantic(drain, rounds=3, iterations=1)
+    stats = stats_holder["stats"]
+    assert stats.observations == slice_size
+    assert len(result.solutions) == stats.problems_closed
+    assert stats.propagation_decided > stats.fallback_solves
+    mean_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["observations"] = slice_size
+    benchmark.extra_info["events_per_sec"] = round(
+        slice_size / mean_seconds, 1
+    )
+    benchmark.extra_info["verdict_latency_us"] = round(
+        mean_seconds / slice_size * 1e6, 2
+    )
+    benchmark.extra_info["verdict_events"] = stats.events_emitted

@@ -16,10 +16,11 @@ setup(
     ),
     package_dir={"": "src"},
     packages=find_packages("src"),
-    python_requires=">=3.8",
+    python_requires=">=3.10",
     entry_points={
         "console_scripts": [
             "repro-runner=repro.runner.cli:main",
+            "repro-stream=repro.stream.cli:main",
         ],
     },
 )

@@ -31,6 +31,7 @@ from repro import (
     runner,
     sat,
     scenario,
+    stream,
     topology,
     traceroute,
     urls,
@@ -51,6 +52,7 @@ __all__ = [
     "runner",
     "sat",
     "scenario",
+    "stream",
     "topology",
     "traceroute",
     "urls",

@@ -7,11 +7,15 @@
 - :mod:`~repro.analysis.reports` — Table 1 (dataset characteristics),
   Table 2 (regions with most censors), Table 3 (top leakers), and the
   Figure-5 country flow matrix;
+- :mod:`~repro.analysis.localization_time` — time-to-localization: how many
+  measurements the stream (:mod:`repro.stream`) ingested before each censor
+  was confirmed (a beyond-the-paper figure);
 - :mod:`~repro.analysis.tables` — plain-text table/CDF rendering shared by
   benchmarks and examples.
 """
 
 from repro.analysis.churn import ChurnStats, churn_from_observations, churn_from_oracle
+from repro.analysis.localization_time import TTL_HEADERS, TimeToLocalization
 from repro.analysis.reports import (
     flow_matrix_rows,
     table1_rows,
@@ -39,4 +43,6 @@ __all__ = [
     "format_table",
     "format_histogram",
     "format_cdf",
+    "TimeToLocalization",
+    "TTL_HEADERS",
 ]

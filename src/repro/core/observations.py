@@ -72,6 +72,58 @@ class DiscardStats:
         )
 
 
+def observations_of(
+    measurement: Measurement,
+    ip2as: IpToAsDatabase,
+    anomalies: Sequence[Anomaly] = Anomaly.all(),
+    stats: Optional[DiscardStats] = None,
+    conversion_cache: Optional[Dict] = None,
+) -> List[Observation]:
+    """Convert one measurement into its per-anomaly observations.
+
+    The single measurement→observation code path: :func:`build_observations`
+    maps it over a whole dataset, and the streaming engine
+    (:mod:`repro.stream`) applies it to measurements as they arrive, so the
+    two layers cannot disagree on conversion or discard semantics.  Returns
+    ``[]`` (after tallying into ``stats``) when the measurement's
+    traceroutes were inconclusive.
+    """
+    if stats is not None:
+        stats.total += 1
+    conversion = convert_measurement(
+        measurement, ip2as, cache=conversion_cache
+    )
+    if not conversion.ok:
+        assert conversion.reason is not None
+        if stats is not None:
+            stats.record_discard(conversion.reason)
+        return []
+    if stats is not None:
+        stats.converted += 1
+    detected_by_anomaly = measurement.anomalies
+    url = measurement.url
+    as_path = conversion.as_path
+    timestamp = measurement.timestamp
+    measurement_id = measurement.measurement_id
+    # Observations are the dominant allocation (one per anomaly per
+    # converted measurement); bypass the dataclass __init__ and write the
+    # instance dict directly.  The skipped __post_init__ only checks path
+    # non-emptiness, which conversion already guarantees.
+    out: List[Observation] = []
+    for anomaly in anomalies:
+        observation = Observation.__new__(Observation)
+        observation.__dict__.update(
+            url=url,
+            anomaly=anomaly,
+            detected=detected_by_anomaly[anomaly],
+            as_path=as_path,
+            timestamp=timestamp,
+            measurement_id=measurement_id,
+        )
+        out.append(observation)
+    return out
+
+
 def build_observations(
     dataset: Dataset,
     ip2as: IpToAsDatabase,
@@ -84,40 +136,18 @@ def build_observations(
     AS path.
     """
     observations: List[Observation] = []
-    append = observations.append
     stats = DiscardStats()
     conversion_cache: Dict = {}
-    # Observations are this loop's dominant allocation (one per anomaly
-    # per converted measurement); bypass the dataclass __init__ and write
-    # the instance dict directly.  The skipped __post_init__ only checks
-    # path non-emptiness, which conversion already guarantees.
-    new_observation = Observation.__new__
     for measurement in dataset:
-        stats.total += 1
-        conversion = convert_measurement(
-            measurement, ip2as, cache=conversion_cache
-        )
-        if not conversion.ok:
-            assert conversion.reason is not None
-            stats.record_discard(conversion.reason)
-            continue
-        stats.converted += 1
-        detected_by_anomaly = measurement.anomalies
-        url = measurement.url
-        as_path = conversion.as_path
-        timestamp = measurement.timestamp
-        measurement_id = measurement.measurement_id
-        for anomaly in anomalies:
-            observation = new_observation(Observation)
-            observation.__dict__.update(
-                url=url,
-                anomaly=anomaly,
-                detected=detected_by_anomaly[anomaly],
-                as_path=as_path,
-                timestamp=timestamp,
-                measurement_id=measurement_id,
+        observations.extend(
+            observations_of(
+                measurement,
+                ip2as,
+                anomalies=anomalies,
+                stats=stats,
+                conversion_cache=conversion_cache,
             )
-            append(observation)
+        )
     return observations, stats
 
 
@@ -142,6 +172,7 @@ def first_path_only(observations: Iterable[Observation]) -> List[Observation]:
 __all__ = [
     "Observation",
     "DiscardStats",
+    "observations_of",
     "build_observations",
     "first_path_only",
 ]

@@ -417,21 +417,42 @@ class LocalizationPipeline:
             for name, value in cache.stats.as_dict().items():
                 timer.count(f"solve.{name}", value)
         with maybe_stage(timer, "pipeline.reports"):
-            censor_report = identify_censors(
-                solutions, country_by_asn=self.country_by_asn
+            result = assemble_result(
+                solutions, groups, discard_stats, self.country_by_asn
             )
-            leakage_report = identify_leakage(
-                solutions, groups, self.country_by_asn
-            )
-            reduction_stats = reduction_of(solutions)
-        return PipelineResult(
-            solutions=solutions,
-            observations_by_key=groups,
-            discard_stats=discard_stats,
-            censor_report=censor_report,
-            leakage_report=leakage_report,
-            reduction_stats=reduction_stats,
-        )
+        return result
 
 
-__all__ = ["PipelineConfig", "PipelineResult", "LocalizationPipeline"]
+def assemble_result(
+    solutions: List[ProblemSolution],
+    groups: Dict[ProblemKey, List[Observation]],
+    discard_stats: DiscardStats,
+    country_by_asn: Dict[int, str],
+) -> PipelineResult:
+    """Roll solved problems up into a :class:`PipelineResult`.
+
+    The report phase shared by the batch pipeline and the streaming
+    engine's drain (:mod:`repro.stream`): censor identification, leakage,
+    and reduction statistics are all pure functions of the per-problem
+    solutions and groups, so both entry points produce byte-identical
+    results from equal inputs.
+    """
+    censor_report = identify_censors(solutions, country_by_asn=country_by_asn)
+    leakage_report = identify_leakage(solutions, groups, country_by_asn)
+    reduction_stats = reduction_of(solutions)
+    return PipelineResult(
+        solutions=solutions,
+        observations_by_key=groups,
+        discard_stats=discard_stats,
+        censor_report=censor_report,
+        leakage_report=leakage_report,
+        reduction_stats=reduction_stats,
+    )
+
+
+__all__ = [
+    "PipelineConfig",
+    "PipelineResult",
+    "LocalizationPipeline",
+    "assemble_result",
+]

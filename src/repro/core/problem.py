@@ -41,6 +41,7 @@ from typing import (
     Tuple,
 )
 
+from repro.core.clauses import PathLedger, ProblemSignature
 from repro.core.observations import Observation
 from repro.core.splitting import ProblemKey
 from repro.sat.backbone import backbone
@@ -49,13 +50,6 @@ from repro.sat.enumerate import enumerate_models
 from repro.sat.simplify import propagate_units
 
 DEFAULT_SOLUTION_CAP = 16
-
-# A problem's canonical content: (solution cap, sorted unique censored
-# paths, sorted unique clean paths).  Everything a solution contains —
-# status, counts, censor/eliminated sets — is a pure function of this.
-ProblemSignature = Tuple[
-    int, Tuple[Tuple[int, ...], ...], Tuple[Tuple[int, ...], ...]
-]
 
 
 class SolutionStatus(enum.Enum):
@@ -182,11 +176,23 @@ class TomographyProblem:
         self.observations = list(observations) if validate else observations
         self.solution_cap = solution_cap
         self._builder: Optional[CNFBuilder] = None
-        self._unique_paths: Optional[
-            Tuple[List[Tuple[int, ...]], List[Tuple[int, ...]]]
-        ] = None
+        self._ledger: Optional[PathLedger] = None
 
     # -- structure ----------------------------------------------------------
+
+    def ledger(self) -> PathLedger:
+        """The problem's deduplicated path ledger (built once, lazily).
+
+        This is the shared observation→clause construction: the streaming
+        engine fills the same structure one observation at a time, so
+        batch and stream derive their CNFs from one code path.
+        """
+        if self._ledger is None:
+            ledger = PathLedger()
+            for observation in self.observations:
+                ledger.add(observation.as_path, observation.detected)
+            self._ledger = ledger
+        return self._ledger
 
     def unique_paths(self) -> Tuple[List[Tuple[int, ...]], List[Tuple[int, ...]]]:
         """(censored paths, clean paths), deduplicated in first-seen order.
@@ -195,61 +201,22 @@ class TomographyProblem:
         same deduplication :meth:`build_cnf` applies, shared so the fast
         path and the CNF construction agree exactly.
         """
-        if self._unique_paths is None:
-            positive: List[Tuple[int, ...]] = []
-            negative: List[Tuple[int, ...]] = []
-            seen_positive: Set[Tuple[int, ...]] = set()
-            seen_negative: Set[Tuple[int, ...]] = set()
-            for observation in self.observations:
-                path = observation.as_path
-                if observation.detected:
-                    if path not in seen_positive:
-                        seen_positive.add(path)
-                        positive.append(path)
-                elif path not in seen_negative:
-                    seen_negative.add(path)
-                    negative.append(path)
-            self._unique_paths = (positive, negative)
-        return self._unique_paths
+        ledger = self.ledger()
+        return (ledger.positive, ledger.negative)
 
     def signature(self) -> ProblemSignature:
-        """Canonical content signature for structural deduplication.
-
-        Path *sets* (not their observation order) determine the solution,
-        so the signature sorts them; the solution cap participates because
-        it bounds ``num_solutions``.
-        """
-        positive, negative = self.unique_paths()
-        return (
-            self.solution_cap,
-            tuple(sorted(positive)),
-            tuple(sorted(negative)),
-        )
+        """Canonical content signature for structural deduplication."""
+        return self.ledger().signature(self.solution_cap)
 
     # -- CNF construction ---------------------------------------------------
 
     def build_cnf(self) -> Tuple[CNF, CNFBuilder]:
         """Construct the problem's CNF (memoized builder)."""
-        builder = CNFBuilder()
-        positive = 0
-        # Deduplicate identical clauses: repeated identical measurements add
-        # no information and only slow enumeration down.
-        seen_positive: Set[Tuple[int, ...]] = set()
-        seen_negative: Set[Tuple[int, ...]] = set()
-        for observation in self.observations:
-            path = observation.as_path
-            if observation.detected:
-                if path not in seen_positive:
-                    seen_positive.add(path)
-                    builder.add_clause_named(list(path), positive=True)
-                    positive += 1
-            else:
-                if path not in seen_negative:
-                    seen_negative.add(path)
-                    builder.add_clause_named(list(path), positive=False)
-        self._positive_count = positive
+        ledger = self.ledger()
+        cnf, builder = ledger.build_cnf()
+        self._positive_count = ledger.positive_clause_count
         self._builder = builder
-        return builder.build(), builder
+        return cnf, builder
 
     # -- solving ---------------------------------------------------------------
 
@@ -261,212 +228,8 @@ class TomographyProblem:
         solver construction entirely.  Results are identical to
         :meth:`solve_reference` (the test suite pins this).
         """
-        if cache is None:
-            return self._solve_fast(None)
-        cache.stats.problems += 1
-        signature = self.signature()
-        memoized = cache.lookup(signature)
-        if memoized is not None:
-            cache.stats.signature_hits += 1
-            # Hand-rolled copy-with-new-key: dataclasses.replace() walks
-            # fields() per call, visible at tens of thousands of hits.
-            return ProblemSolution(
-                key=self.key,
-                status=memoized.status,
-                num_solutions=memoized.num_solutions,
-                capped=memoized.capped,
-                observed_ases=memoized.observed_ases,
-                censors=memoized.censors,
-                potential_censors=memoized.potential_censors,
-                eliminated=memoized.eliminated,
-                clause_count=memoized.clause_count,
-                positive_clause_count=memoized.positive_clause_count,
-            )
-        cache.stats.unique_cnfs += 1
-        solution = self._solve_fast(cache)
-        cache.store(signature, solution)
-        return solution
-
-    def _solve_fast(self, cache: Optional[ProblemSolveCache]) -> ProblemSolution:
-        positive_paths, negative_paths = self.unique_paths()
-        # Every observation's path is one of the unique paths, so the
-        # observed-AS set is their union — no need to rescan the raw
-        # observation list.
-        observed_set: Set[int] = set()
-        for path in positive_paths:
-            observed_set.update(path)
-        for path in negative_paths:
-            observed_set.update(path)
-        observed: FrozenSet[int] = frozenset(observed_set)
-        # Clause/variable bookkeeping mirroring build_cnf: one positive
-        # clause per censored path, one negative unit per AS of each clean
-        # path (duplicates within a path collapse inside a positive clause
-        # but repeat as units, exactly like CNFBuilder).
-        clause_count = len(positive_paths) + sum(
-            len(path) for path in negative_paths
-        )
-        positive_count = len(positive_paths)
-
-        if cache is not None:
-            forced_false, forced_true = cache.borrow_scratch()
-        else:
-            forced_false, forced_true = set(), set()
-        for path in negative_paths:
-            forced_false.update(path)
-
-        # Unit-propagation closure by set algebra.  All multi-literal
-        # clauses are purely positive, so falsification only ever comes
-        # from the negative units, and a forced-True AS can only *satisfy*
-        # other clauses — one reduction pass plus one satisfaction pass is
-        # the fixpoint.
-        undecided: List[Tuple[int, ...]] = []
-        for path in positive_paths:
-            alive = tuple(
-                dict.fromkeys(a for a in path if a not in forced_false)
-            )
-            if not alive:
-                # A censored path whose every AS is exonerated: UNSAT
-                # (noise, or a policy change mid-window).
-                if cache is not None:
-                    cache.stats.propagation_decided += 1
-                return ProblemSolution(
-                    key=self.key,
-                    status=SolutionStatus.UNSATISFIABLE,
-                    num_solutions=0,
-                    capped=False,
-                    observed_ases=observed,
-                    clause_count=clause_count,
-                    positive_clause_count=positive_count,
-                )
-            if len(alive) == 1:
-                forced_true.add(alive[0])
-            else:
-                undecided.append(alive)
-        residual = [
-            clause
-            for clause in undecided
-            if not any(asn in forced_true for asn in clause)
-        ]
-
-        if not residual:
-            names: Set[int] = set(forced_false)
-            for path in positive_paths:
-                names.update(path)
-            if cache is not None:
-                cache.stats.propagation_decided += 1
-            free_count = len(names) - len(forced_false) - len(forced_true)
-            if not free_count:
-                return ProblemSolution(
-                    key=self.key,
-                    status=SolutionStatus.UNIQUE,
-                    num_solutions=1,
-                    capped=False,
-                    observed_ases=observed,
-                    censors=frozenset(forced_true),
-                    eliminated=frozenset(forced_false),
-                    clause_count=clause_count,
-                    positive_clause_count=positive_count,
-                )
-            # Unconstrained variables (only ever in satisfied clauses)
-            # make the solution non-unique.
-            count = min(self.solution_cap, 2 ** free_count)
-            capped = 2 ** free_count > self.solution_cap
-            free = names - forced_false - forced_true
-            return ProblemSolution(
-                key=self.key,
-                status=SolutionStatus.MULTIPLE,
-                num_solutions=count,
-                capped=capped,
-                observed_ases=observed,
-                potential_censors=frozenset(forced_true) | frozenset(free),
-                eliminated=frozenset(forced_false),
-                clause_count=clause_count,
-                positive_clause_count=positive_count,
-            )
-
-        # Genuine residual search space: build the real CNF and enumerate.
-        if cache is not None:
-            cache.stats.cdcl_solves += 1
-        return self._solve_residual(
-            observed, clause_count, positive_count, cache
-        )
-
-    def _solve_residual(
-        self,
-        observed: FrozenSet[int],
-        clause_count: int,
-        positive_count: int,
-        cache: Optional[ProblemSolveCache],
-    ) -> ProblemSolution:
-        """Classify via CDCL enumeration (and backbone when MULTIPLE)."""
-        cnf, builder = self.build_cnf()
-        enumeration = enumerate_models(cnf, cap=self.solution_cap)
-        if enumeration.unsatisfiable:
-            return ProblemSolution(
-                key=self.key,
-                status=SolutionStatus.UNSATISFIABLE,
-                num_solutions=0,
-                capped=False,
-                observed_ases=observed,
-                clause_count=clause_count,
-                positive_clause_count=positive_count,
-            )
-        if enumeration.unique:
-            named = builder.decode(enumeration.models[0])
-            return ProblemSolution(
-                key=self.key,
-                status=SolutionStatus.UNIQUE,
-                num_solutions=1,
-                capped=False,
-                observed_ases=observed,
-                censors=frozenset(a for a, value in named.items() if value),
-                eliminated=frozenset(
-                    a for a, value in named.items() if not value
-                ),
-                clause_count=clause_count,
-                positive_clause_count=positive_count,
-            )
-        # Multiple solutions: exact always-True / always-False sets.  A
-        # completed (uncapped) enumeration already holds *every* model, so
-        # the backbone falls out of the model list without constructing a
-        # second solver; a capped enumeration needs the assumption-probing
-        # backbone for exactness.
-        if not enumeration.capped:
-            if cache is not None:
-                cache.stats.backbones_from_models += 1
-            variables = sorted(cnf.variables())
-            always_true = {
-                var
-                for var in variables
-                if all(model.get(var) is True for model in enumeration.models)
-            }
-            always_false = {
-                var
-                for var in variables
-                if all(model.get(var) is False for model in enumeration.models)
-            }
-        else:
-            bb = backbone(cnf)
-            always_true = bb.always_true
-            always_false = bb.always_false
-        always_false_named = frozenset(
-            builder.name_of(var) for var in always_false
-        )
-        always_true_named = frozenset(
-            builder.name_of(var) for var in always_true
-        )
-        potential = frozenset(builder.names) - always_false_named
-        return ProblemSolution(
-            key=self.key,
-            status=SolutionStatus.MULTIPLE,
-            num_solutions=enumeration.count,
-            capped=enumeration.capped,
-            observed_ases=observed,
-            censors=always_true_named,  # certain even among many models
-            potential_censors=potential,
-            eliminated=always_false_named,
-            clause_count=clause_count,
-            positive_clause_count=positive_count,
+        return solve_ledger(
+            self.key, self.ledger(), self.solution_cap, cache
         )
 
     def solve_reference(self) -> ProblemSolution:
@@ -596,6 +359,228 @@ class TomographyProblem:
         )
 
 
+def solve_ledger(
+    key: ProblemKey,
+    ledger: PathLedger,
+    solution_cap: int,
+    cache: Optional[ProblemSolveCache] = None,
+) -> ProblemSolution:
+    """Solve one problem's :class:`PathLedger` and classify per §3.2.
+
+    The single optimized solve shared by batch (`TomographyProblem.solve`)
+    and stream (`repro.stream`): memoized by content signature when a
+    :class:`ProblemSolveCache` is supplied, decided by the set-based
+    propagation fast path whenever possible, CDCL enumeration otherwise.
+    """
+    if cache is None:
+        return _solve_ledger_fast(key, ledger, solution_cap, None)
+    cache.stats.problems += 1
+    signature = ledger.signature(solution_cap)
+    memoized = cache.lookup(signature)
+    if memoized is not None:
+        cache.stats.signature_hits += 1
+        # Hand-rolled copy-with-new-key: dataclasses.replace() walks
+        # fields() per call, visible at tens of thousands of hits.
+        return ProblemSolution(
+            key=key,
+            status=memoized.status,
+            num_solutions=memoized.num_solutions,
+            capped=memoized.capped,
+            observed_ases=memoized.observed_ases,
+            censors=memoized.censors,
+            potential_censors=memoized.potential_censors,
+            eliminated=memoized.eliminated,
+            clause_count=memoized.clause_count,
+            positive_clause_count=memoized.positive_clause_count,
+        )
+    cache.stats.unique_cnfs += 1
+    solution = _solve_ledger_fast(key, ledger, solution_cap, cache)
+    cache.store(signature, solution)
+    return solution
+
+
+def _solve_ledger_fast(
+    key: ProblemKey,
+    ledger: PathLedger,
+    solution_cap: int,
+    cache: Optional[ProblemSolveCache],
+) -> ProblemSolution:
+    positive_paths = ledger.positive
+    negative_paths = ledger.negative
+    # Every observation's path is one of the unique paths, so the
+    # observed-AS set is their union — no need to rescan the raw
+    # observation list.
+    observed: FrozenSet[int] = ledger.observed_ases()
+    clause_count = ledger.clause_count
+    positive_count = ledger.positive_clause_count
+
+    if cache is not None:
+        forced_false, forced_true = cache.borrow_scratch()
+    else:
+        forced_false, forced_true = set(), set()
+    for path in negative_paths:
+        forced_false.update(path)
+
+    # Unit-propagation closure by set algebra.  All multi-literal
+    # clauses are purely positive, so falsification only ever comes
+    # from the negative units, and a forced-True AS can only *satisfy*
+    # other clauses — one reduction pass plus one satisfaction pass is
+    # the fixpoint.
+    undecided: List[Tuple[int, ...]] = []
+    for path in positive_paths:
+        alive = tuple(
+            dict.fromkeys(a for a in path if a not in forced_false)
+        )
+        if not alive:
+            # A censored path whose every AS is exonerated: UNSAT
+            # (noise, or a policy change mid-window).
+            if cache is not None:
+                cache.stats.propagation_decided += 1
+            return ProblemSolution(
+                key=key,
+                status=SolutionStatus.UNSATISFIABLE,
+                num_solutions=0,
+                capped=False,
+                observed_ases=observed,
+                clause_count=clause_count,
+                positive_clause_count=positive_count,
+            )
+        if len(alive) == 1:
+            forced_true.add(alive[0])
+        else:
+            undecided.append(alive)
+    residual = [
+        clause
+        for clause in undecided
+        if not any(asn in forced_true for asn in clause)
+    ]
+
+    if not residual:
+        names: Set[int] = set(forced_false)
+        for path in positive_paths:
+            names.update(path)
+        if cache is not None:
+            cache.stats.propagation_decided += 1
+        free_count = len(names) - len(forced_false) - len(forced_true)
+        if not free_count:
+            return ProblemSolution(
+                key=key,
+                status=SolutionStatus.UNIQUE,
+                num_solutions=1,
+                capped=False,
+                observed_ases=observed,
+                censors=frozenset(forced_true),
+                eliminated=frozenset(forced_false),
+                clause_count=clause_count,
+                positive_clause_count=positive_count,
+            )
+        # Unconstrained variables (only ever in satisfied clauses)
+        # make the solution non-unique.
+        count = min(solution_cap, 2 ** free_count)
+        capped = 2 ** free_count > solution_cap
+        free = names - forced_false - forced_true
+        return ProblemSolution(
+            key=key,
+            status=SolutionStatus.MULTIPLE,
+            num_solutions=count,
+            capped=capped,
+            observed_ases=observed,
+            potential_censors=frozenset(forced_true) | frozenset(free),
+            eliminated=frozenset(forced_false),
+            clause_count=clause_count,
+            positive_clause_count=positive_count,
+        )
+
+    # Genuine residual search space: build the real CNF and enumerate.
+    if cache is not None:
+        cache.stats.cdcl_solves += 1
+    return _solve_ledger_residual(
+        key, ledger, solution_cap, observed, clause_count, positive_count,
+        cache,
+    )
+
+
+def _solve_ledger_residual(
+    key: ProblemKey,
+    ledger: PathLedger,
+    solution_cap: int,
+    observed: FrozenSet[int],
+    clause_count: int,
+    positive_count: int,
+    cache: Optional[ProblemSolveCache],
+) -> ProblemSolution:
+    """Classify via CDCL enumeration (and backbone when MULTIPLE)."""
+    cnf, builder = ledger.build_cnf()
+    enumeration = enumerate_models(cnf, cap=solution_cap)
+    if enumeration.unsatisfiable:
+        return ProblemSolution(
+            key=key,
+            status=SolutionStatus.UNSATISFIABLE,
+            num_solutions=0,
+            capped=False,
+            observed_ases=observed,
+            clause_count=clause_count,
+            positive_clause_count=positive_count,
+        )
+    if enumeration.unique:
+        named = builder.decode(enumeration.models[0])
+        return ProblemSolution(
+            key=key,
+            status=SolutionStatus.UNIQUE,
+            num_solutions=1,
+            capped=False,
+            observed_ases=observed,
+            censors=frozenset(a for a, value in named.items() if value),
+            eliminated=frozenset(
+                a for a, value in named.items() if not value
+            ),
+            clause_count=clause_count,
+            positive_clause_count=positive_count,
+        )
+    # Multiple solutions: exact always-True / always-False sets.  A
+    # completed (uncapped) enumeration already holds *every* model, so
+    # the backbone falls out of the model list without constructing a
+    # second solver; a capped enumeration needs the assumption-probing
+    # backbone for exactness.
+    if not enumeration.capped:
+        if cache is not None:
+            cache.stats.backbones_from_models += 1
+        variables = sorted(cnf.variables())
+        always_true = {
+            var
+            for var in variables
+            if all(model.get(var) is True for model in enumeration.models)
+        }
+        always_false = {
+            var
+            for var in variables
+            if all(model.get(var) is False for model in enumeration.models)
+        }
+    else:
+        bb = backbone(cnf)
+        always_true = bb.always_true
+        always_false = bb.always_false
+    always_false_named = frozenset(
+        builder.name_of(var) for var in always_false
+    )
+    always_true_named = frozenset(
+        builder.name_of(var) for var in always_true
+    )
+    potential = frozenset(builder.names) - always_false_named
+    return ProblemSolution(
+        key=key,
+        status=SolutionStatus.MULTIPLE,
+        num_solutions=enumeration.count,
+        capped=enumeration.capped,
+        observed_ases=observed,
+        censors=always_true_named,  # certain even among many models
+        potential_censors=potential,
+        eliminated=always_false_named,
+        clause_count=clause_count,
+        positive_clause_count=positive_count,
+    )
+
+
 __all__ = [
     "SolutionStatus",
     "ProblemSolution",
@@ -603,5 +588,7 @@ __all__ = [
     "SolveStats",
     "TomographyProblem",
     "ProblemKey",
+    "ProblemSignature",
+    "solve_ledger",
     "DEFAULT_SOLUTION_CAP",
 ]

@@ -32,6 +32,18 @@ class ProblemKey:
         )
 
 
+def window_start(timestamp: int, size: int) -> int:
+    """The aligned start of the ``size``-second window holding ``timestamp``.
+
+    The single bucketing rule shared by batch splitting (below) and the
+    streaming engine (:mod:`repro.stream`): windows are half-open
+    ``[start, start + size)`` intervals aligned to multiples of ``size``,
+    so a timestamp exactly on a window edge deterministically opens the
+    *next* window under every granularity.
+    """
+    return timestamp - timestamp % size
+
+
 def split_observations(
     observations: Iterable[Observation],
     granularities: Sequence[Granularity] = Granularity.all(),
@@ -66,7 +78,7 @@ def split_observations(
         if raw is None:
             raw = by_anomaly[anomaly] = {}
         for index, size in sizes:
-            start = timestamp - timestamp % size
+            start = window_start(timestamp, size)
             bucket = (url, index, start)
             group = raw.get(bucket)
             if group is None:
@@ -104,4 +116,9 @@ def interesting_groups(
     }
 
 
-__all__ = ["ProblemKey", "split_observations", "interesting_groups"]
+__all__ = [
+    "ProblemKey",
+    "window_start",
+    "split_observations",
+    "interesting_groups",
+]

@@ -18,7 +18,7 @@ import math
 from bisect import bisect_right
 from dataclasses import dataclass, field
 from time import perf_counter
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.censorship.deployment import CensorDeployment
 from repro.iclab.dataset import Dataset
@@ -106,6 +106,7 @@ class ICLabPlatform:
         self.vantage_points = list(vantage_points)
         self.config = config
         self.timer: Optional[StageTimer] = None
+        self._listeners: List[Callable[[Measurement], None]] = []
         self._pages: Dict[str, HttpResponse] = {}
         self._router_paths: Dict[Tuple[int, ...], RouterPath] = {}
         self._middleboxes: Dict[Tuple[int, ...], List[OnPathMiddlebox]] = {}
@@ -115,6 +116,24 @@ class ICLabPlatform:
         # generator state, so the draw streams are identical to fresh
         # construction at a fraction of the allocation cost.
         self._test_rng = DeterministicRNG(0)
+
+    # -- event emission ------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[Measurement], None]) -> None:
+        """Subscribe to measurements as the campaign produces them.
+
+        Listeners fire synchronously from :meth:`run_campaign`, right
+        after each measurement lands in the dataset — the drip-feed hook
+        the streaming engine (:mod:`repro.stream`) attaches to, so online
+        consumers see the exact sequence batch consumers read back.
+        """
+        self._listeners.append(listener)
+
+    def remove_listener(
+        self, listener: Callable[[Measurement], None]
+    ) -> None:
+        """Unsubscribe a previously added listener."""
+        self._listeners.remove(listener)
 
     # -- content -------------------------------------------------------------
 
@@ -280,6 +299,8 @@ class ICLabPlatform:
                         measurement = self.run_test(vantage, test_url, timestamp)
                     if measurement is not None:
                         dataset.add(measurement)
+                        for listener in self._listeners:
+                            listener(measurement)
             if progress_every and (day_index + 1) % progress_every == 0:
                 print(
                     f"[iclab] day {day_index + 1}/{len(day_starts)}: "

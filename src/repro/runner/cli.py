@@ -7,15 +7,22 @@ Subcommands:
 - ``resume`` — re-expand a persisted sweep manifest and run only the jobs
   with no stored record (picks up interrupted sweeps);
 - ``list``   — show persisted sweeps with done/total counts;
-- ``report`` — per-job and aggregate tables over stored records;
+- ``report`` — per-job and aggregate tables over stored records
+  (``--json`` for machine-readable output);
 - ``perf``   — where the time went: per-stage wall-clock totals and
-  solver/routing counters aggregated from the stored perf sidecars.
+  solver/routing counters aggregated from the stored perf sidecars
+  (``--json`` for machine-readable output);
+- ``stream`` — run a campaign through the online streaming localizer
+  (:mod:`repro.stream`), printing verdicts as they tighten; ``--replay``
+  re-streams a persisted sweep's jobs and verifies each against its
+  stored batch record.
 """
 
 from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
 import time
 from typing import List, Optional, Sequence, Tuple
@@ -28,7 +35,7 @@ from repro.runner.results import (
     SweepSummary,
     report_rows,
 )
-from repro.runner.spec import CHURN_MODES, SweepSpec, WITH_CHURN
+from repro.runner.spec import CHURN_MODES, JobSpec, SweepSpec, WITH_CHURN
 from repro.runner.store import ResultStore
 from repro.scenario.presets import PRESETS
 from repro.util.profiling import StageTimer
@@ -138,6 +145,11 @@ def _build_parser() -> argparse.ArgumentParser:
     report.add_argument(
         "--name", default=None, help="restrict to one sweep's jobs"
     )
+    report.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (per-job summaries + aggregate)",
+    )
 
     perf = subparsers.add_parser(
         "perf", help="aggregate stage timings from stored perf sidecars"
@@ -151,6 +163,35 @@ def _build_parser() -> argparse.ArgumentParser:
         default=5,
         help="how many slowest jobs to list (default: 5)",
     )
+    perf.add_argument(
+        "--json",
+        action="store_true",
+        help="machine-readable output (stages, counters, per-job walls)",
+    )
+
+    stream = subparsers.add_parser(
+        "stream",
+        help="stream a campaign online with incremental verdicts",
+    )
+    stream.add_argument(
+        "--preset", default="tiny", choices=sorted(PRESETS)
+    )
+    stream.add_argument("--seed", type=int, default=0)
+    stream.add_argument("--duration-days", type=int, default=None)
+    stream.add_argument("--num-urls", type=int, default=None)
+    stream.add_argument("--num-vantage-points", type=int, default=None)
+    stream.add_argument(
+        "--replay",
+        default=None,
+        metavar="NAME",
+        help=(
+            "replay a persisted sweep's jobs from the store, verifying "
+            "each drained stream against its stored batch record"
+        ),
+    )
+    stream.add_argument("--events", type=int, default=10, metavar="N")
+    stream.add_argument("--verify", action="store_true")
+    stream.add_argument("--json", action="store_true")
     return parser
 
 
@@ -299,6 +340,23 @@ def _cmd_report(args: argparse.Namespace) -> int:
     else:
         records = list(store.records())
         title = f"all records in {store.root}"
+    if args.json:
+        # Machine-readable: the stored summary records verbatim (already
+        # JSON-shaped) plus the cross-job aggregate — what scripted sweeps
+        # consume instead of scraping the table.
+        summary = SweepSummary.aggregate(records)
+        print(
+            json.dumps(
+                {
+                    "sweep": args.name,
+                    "records": records,
+                    "aggregate": dataclasses.asdict(summary),
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+        return 0
     if not records:
         print(f"no records for {title}")
         return 0
@@ -344,6 +402,29 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             record = store.get(job_id)
             label = record.get("label", job_id) if record else job_id
             per_job_total.append((total, label))
+    if args.json:
+        snapshot = aggregate.snapshot() if jobs_with_perf else {
+            "stages": {}, "counters": {}
+        }
+        print(
+            json.dumps(
+                {
+                    "sweep": args.name,
+                    "jobs_with_perf": jobs_with_perf,
+                    "stages": snapshot["stages"],
+                    "counters": snapshot["counters"],
+                    "per_job_total": [
+                        {"label": label, "seconds": seconds}
+                        for seconds, label in sorted(
+                            per_job_total, reverse=True
+                        )
+                    ],
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+        return 0
     if not jobs_with_perf:
         print(
             "no perf sidecars found (perf data is written for jobs "
@@ -398,12 +479,40 @@ def _cmd_perf(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_stream(args: argparse.Namespace) -> int:
+    # Deferred import: the stream CLI pulls in the full engine stack,
+    # which sweep/report invocations never need.
+    from repro.stream import cli as stream_cli
+
+    if args.replay is not None:
+        return stream_cli.run_replay(
+            args.store,
+            args.replay,
+            event_limit=args.events,
+            json_mode=args.json,
+        )
+    job = JobSpec(
+        preset=args.preset,
+        seed=args.seed,
+        duration_days=args.duration_days,
+        num_urls=args.num_urls,
+        num_vantage_points=args.num_vantage_points,
+    )
+    return stream_cli.run_fresh(
+        job,
+        event_limit=args.events,
+        verify=args.verify,
+        json_mode=args.json,
+    )
+
+
 _COMMANDS = {
     "sweep": _cmd_sweep,
     "resume": _cmd_resume,
     "list": _cmd_list,
     "report": _cmd_report,
     "perf": _cmd_perf,
+    "stream": _cmd_stream,
 }
 
 

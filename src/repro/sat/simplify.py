@@ -11,7 +11,7 @@ leave their inputs untouched.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.sat.cnf import CNF, Clause
 
@@ -107,6 +107,119 @@ def propagate_units(cnf: CNF) -> PropagationResult:
     )
 
 
+class IncrementalPropagation:
+    """Resumable unit-propagation state: clauses may arrive at any time.
+
+    The streaming engine (:mod:`repro.stream`) appends clauses as
+    measurements come in; because clauses only ever *accumulate*, the
+    propagation closure is monotone — forced assignments never retract and
+    a conflict, once reached, is final.  The closure is the same least
+    fixpoint :func:`propagate_units` computes over a complete CNF (unit
+    propagation is confluent), so resuming is exact, not approximate.
+
+    ``forced`` maps each decided variable to its value, ``residual`` holds
+    the not-yet-satisfied clauses with falsified literals removed, and
+    ``conflict`` marks unsatisfiability.  Assignments reduce the whole
+    residual per forced literal (no watchlists); the tomography CNFs keep
+    the residual to a handful of positive clauses, where a rescan is
+    cheaper than watcher bookkeeping.
+
+    >>> state = IncrementalPropagation()
+    >>> changed = state.add_clause([1, 2, 3])
+    >>> changed = state.add_clause([-1]) and state.add_clause([-3])
+    >>> state.conflict, state.forced
+    (False, {1: False, 3: False, 2: True})
+    """
+
+    __slots__ = ("forced", "conflict", "_clauses")
+
+    def __init__(self) -> None:
+        self.forced: Dict[int, bool] = {}
+        self.conflict: bool = False
+        self._clauses: List[Tuple[int, ...]] = []
+
+    @property
+    def residual(self) -> List[Tuple[int, ...]]:
+        """Unsatisfied clauses under the current closure, reduced."""
+        return list(self._clauses)
+
+    @property
+    def decided(self) -> bool:
+        """True when the closure fully decided the formula so far."""
+        return self.conflict or not self._clauses
+
+    def value_of(self, variable: int) -> Optional[bool]:
+        """The forced value of ``variable``, or None while free."""
+        return self.forced.get(variable)
+
+    def add_clause(self, literals: Iterable[int]) -> bool:
+        """Append one clause and re-close; True when the state changed.
+
+        A clause already satisfied by the closure is a no-op.  After a
+        conflict the state is frozen (every later clause is vacuous in an
+        unsatisfiable formula).
+        """
+        if self.conflict:
+            return False
+        alive: List[int] = []
+        seen: Set[int] = set()
+        for lit in literals:
+            if lit == 0:
+                raise ValueError("0 is not a valid literal")
+            if lit in seen:
+                continue
+            if -lit in seen:
+                return False  # tautology
+            seen.add(lit)
+            value = self.forced.get(abs(lit))
+            if value is None:
+                alive.append(lit)
+            elif value == (lit > 0):
+                return False  # already satisfied
+        if not alive:
+            self.conflict = True
+            return True
+        if len(alive) == 1:
+            self._propagate([alive[0]])
+            return True
+        self._clauses.append(tuple(alive))
+        return True
+
+    def _propagate(self, queue: List[int]) -> None:
+        """Drain newly forced literals to the fixpoint."""
+        while queue:
+            lit = queue.pop()
+            var, value = abs(lit), lit > 0
+            prior = self.forced.get(var)
+            if prior is not None:
+                if prior != value:
+                    self.conflict = True
+                    return
+                continue
+            self.forced[var] = value
+            remaining: List[Tuple[int, ...]] = []
+            for lits in self._clauses:
+                satisfied = False
+                alive: List[int] = []
+                for other in lits:
+                    known = self.forced.get(abs(other))
+                    if known is None:
+                        alive.append(other)
+                    elif known == (other > 0):
+                        satisfied = True
+                        break
+                if satisfied:
+                    continue
+                if not alive:
+                    self.conflict = True
+                    return
+                if len(alive) == 1:
+                    queue.append(alive[0])
+                    continue
+                remaining.append(tuple(alive))
+            self._clauses = remaining
+
+
 def pure_literals(cnf: CNF) -> Set[int]:
     """Literals whose negation never appears in ``cnf``.
 
@@ -158,6 +271,7 @@ def simplified(cnf: CNF) -> CNF:
 __all__ = [
     "propagate_units",
     "PropagationResult",
+    "IncrementalPropagation",
     "pure_literals",
     "subsumed_clauses",
     "simplified",

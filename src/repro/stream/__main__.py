@@ -1,0 +1,8 @@
+"""``python -m repro.stream`` entry point."""
+
+import sys
+
+from repro.stream.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

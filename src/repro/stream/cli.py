@@ -1,0 +1,316 @@
+"""Command-line interface: ``python -m repro.stream``.
+
+Two modes:
+
+- **fresh** (default) — build a preset scenario, run its campaign while
+  drip-feeding the streaming engine, print verdict events as they fire,
+  then the final summary and the time-to-localization table (how many
+  measurements until each true censor was pinned);
+- **replay** (``--replay NAME --store DIR``) — re-expand a persisted
+  sweep's jobs from a result store, rebuild each job's world from its
+  spec, stream its campaign, and verify the drained result against the
+  stored batch record when its result sidecar is present.
+
+``--verify`` additionally runs the batch pipeline over the same campaign
+and checks byte equality; ``--json`` switches all output to one
+machine-readable document.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.analysis.localization_time import TTL_HEADERS, TimeToLocalization
+from repro.analysis.tables import format_table
+from repro.core.pipeline import DEFAULT_SOLUTION_CAP
+from repro.runner.spec import JobSpec
+from repro.runner.store import ResultStore
+from repro.scenario.presets import PRESETS
+from repro.scenario.world import World, build_world
+from repro.stream.engine import StreamingLocalizer
+from repro.stream.events import VerdictEvent
+from repro.stream.sources import (
+    engine_for_world,
+    replay_stored_job,
+    stream_campaign,
+)
+
+DEFAULT_EVENT_LIMIT = 25
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-stream",
+        description=(
+            "Online streaming localization with incremental verdicts."
+        ),
+    )
+    parser.add_argument(
+        "--preset",
+        default="tiny",
+        choices=sorted(PRESETS),
+        help="scenario preset to stream (default: tiny)",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--granularities",
+        default="day,week,month",
+        metavar="G1,G2,...",
+        help="window granularities (default: day,week,month)",
+    )
+    parser.add_argument(
+        "--anomalies",
+        default="",
+        metavar="A1,A2,...",
+        help="anomaly subset (default: all five)",
+    )
+    parser.add_argument(
+        "--solution-cap", type=int, default=DEFAULT_SOLUTION_CAP
+    )
+    parser.add_argument("--duration-days", type=int, default=None)
+    parser.add_argument("--num-urls", type=int, default=None)
+    parser.add_argument("--num-vantage-points", type=int, default=None)
+    parser.add_argument(
+        "--events",
+        type=int,
+        default=DEFAULT_EVENT_LIMIT,
+        metavar="N",
+        help=(
+            "print the first N verdict events (0 silences them, "
+            f"-1 prints all; default: {DEFAULT_EVENT_LIMIT})"
+        ),
+    )
+    parser.add_argument(
+        "--verify",
+        action="store_true",
+        help="also run the batch pipeline and assert byte equality",
+    )
+    parser.add_argument(
+        "--json", action="store_true", help="machine-readable output"
+    )
+    parser.add_argument(
+        "--store",
+        default=None,
+        help="result store directory (replay mode)",
+    )
+    parser.add_argument(
+        "--replay",
+        default=None,
+        metavar="NAME",
+        help="replay the jobs of this persisted sweep from --store",
+    )
+    return parser
+
+
+def job_from_args(args: argparse.Namespace) -> JobSpec:
+    granularities = tuple(
+        part.strip() for part in args.granularities.split(",") if part.strip()
+    )
+    anomalies = tuple(
+        part.strip() for part in args.anomalies.split(",") if part.strip()
+    )
+    return JobSpec(
+        preset=args.preset,
+        seed=args.seed,
+        granularities=granularities,
+        anomalies=anomalies,
+        solution_cap=args.solution_cap,
+        duration_days=args.duration_days,
+        num_urls=args.num_urls,
+        num_vantage_points=args.num_vantage_points,
+    )
+
+
+class _EventPrinter:
+    """Prints the first N events (all when limit is -1)."""
+
+    def __init__(self, limit: int) -> None:
+        self.limit = limit
+        self.seen = 0
+
+    def __call__(self, event: VerdictEvent) -> None:
+        self.seen += 1
+        if self.limit < 0 or self.seen <= self.limit:
+            print(event.describe())
+        elif self.seen == self.limit + 1:
+            print(f"... (further events suppressed; --events -1 for all)")
+
+
+def _summary_payload(
+    engine: StreamingLocalizer, world: World
+) -> Dict[str, Any]:
+    result = engine.drain()
+    true_censors = sorted(world.deployment.censor_asns)
+    ttl = TimeToLocalization.from_engine(engine)
+    return {
+        "problems": len(result.solutions),
+        "by_status": {
+            status.value: count
+            for status, count in sorted(
+                result.by_status().items(), key=lambda item: item[0].value
+            )
+        },
+        "identified_censors": result.identified_censor_asns,
+        "true_censors": true_censors,
+        "stream_stats": engine.stats.as_dict(),
+        "solve_stats": engine.solve_stats.as_dict(),
+        "time_to_localization": ttl.as_dict(true_censors),
+    }
+
+
+def _print_summary(engine: StreamingLocalizer, world: World) -> None:
+    result = engine.drain()
+    stats = engine.stats
+    by_status = result.by_status()
+    print(
+        f"\ndrained {stats.measurements} measurements "
+        f"({stats.observations} observations) into "
+        f"{len(result.solutions)} problems: "
+        + ", ".join(
+            f"{count} {status.value}"
+            for status, count in sorted(
+                by_status.items(), key=lambda item: item[0].value
+            )
+        )
+    )
+    print(
+        f"verdict updates: {stats.snapshots} "
+        f"({stats.propagation_decided} by incremental propagation, "
+        f"{stats.fallback_solves} full solves), "
+        f"{stats.events_emitted} events emitted"
+    )
+    true_censors = sorted(world.deployment.censor_asns)
+    identified = result.identified_censor_asns
+    print(
+        f"censors: {len(identified)} confirmed of "
+        f"{len(true_censors)} deployed"
+    )
+    ttl = TimeToLocalization.from_engine(engine)
+    rows = ttl.rows(true_censors, world.country_by_asn)
+    if rows:
+        print()
+        print(
+            format_table(
+                TTL_HEADERS, rows, title="time to localization"
+            )
+        )
+
+
+def run_fresh(
+    job: JobSpec,
+    event_limit: int = DEFAULT_EVENT_LIMIT,
+    verify: bool = False,
+    json_mode: bool = False,
+) -> int:
+    """Fresh mode: build the world, drip-stream its campaign, report."""
+    world = build_world(job.scenario_config())
+    engine = engine_for_world(world, config=job.pipeline_config())
+    if json_mode:
+        # Per-event verdicts are only computed for listeners; a no-op
+        # subscriber keeps the JSON's stream_stats counters meaningful.
+        engine.subscribe(lambda event: None)
+    elif event_limit != 0:
+        engine.subscribe(_EventPrinter(event_limit))
+    if not json_mode:
+        print(
+            f"streaming {job.preset!r} (seed {job.seed}): "
+            f"{len(world.vantage_points)} vantage points, "
+            f"{len(world.test_list)} URLs"
+        )
+    dataset = stream_campaign(world, engine)
+    verified: Optional[bool] = None
+    if verify:
+        batch = world.pipeline(job.pipeline_config()).run(dataset)
+        verified = batch.to_dict() == engine.drain().to_dict()
+    if json_mode:
+        payload = _summary_payload(engine, world)
+        if verified is not None:
+            payload["batch_equivalent"] = verified
+        print(json.dumps(payload, indent=1, sort_keys=True))
+    else:
+        _print_summary(engine, world)
+        if verified is not None:
+            print(
+                "batch equivalence: "
+                + ("byte-identical" if verified else "MISMATCH")
+            )
+    return 0 if verified in (None, True) else 1
+
+
+def run_replay(
+    store_dir: str,
+    name: str,
+    event_limit: int = 0,
+    json_mode: bool = False,
+) -> int:
+    """Replay mode: stream every job of a persisted sweep, verifying."""
+    store = ResultStore(store_dir)
+    spec = store.load_sweep(name)
+    jobs = spec.expand()
+    failures = 0
+    payloads: List[Dict[str, Any]] = []
+    for job in jobs:
+        if not json_mode:
+            print(f"replaying {job.label} ...")
+        world = build_world(job.scenario_config())
+        engine = engine_for_world(world, config=job.pipeline_config())
+        if json_mode:
+            engine.subscribe(lambda event: None)
+        elif event_limit != 0:
+            engine.subscribe(_EventPrinter(event_limit))
+        outcome = replay_stored_job(store, job, engine=engine, world=world)
+        if json_mode:
+            payload = _summary_payload(engine, world)
+            payload["job_id"] = job.job_id
+            payload["label"] = job.label
+            payload["verified"] = outcome.verified
+            payload["mismatches"] = list(outcome.mismatches)
+            payloads.append(payload)
+        else:
+            _print_summary(engine, world)
+            if outcome.verified is None:
+                print("no stored result sidecar to verify against")
+            elif outcome.verified:
+                print("stored-record verification: statuses + censors match")
+            else:
+                print("stored-record verification FAILED:")
+                for line in outcome.mismatches[:10]:
+                    print(f"  {line}")
+        if outcome.verified is False:
+            failures += 1
+    if json_mode:
+        print(json.dumps({"sweep": name, "jobs": payloads}, indent=1,
+                         sort_keys=True))
+    return 1 if failures else 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        if args.replay is not None:
+            if args.store is None:
+                print(
+                    "error: --replay requires --store", file=sys.stderr
+                )
+                return 2
+            return run_replay(
+                args.store,
+                args.replay,
+                event_limit=args.events if args.events else 0,
+                json_mode=args.json,
+            )
+        return run_fresh(
+            job_from_args(args),
+            event_limit=args.events,
+            verify=args.verify,
+            json_mode=args.json,
+        )
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+
+__all__ = ["main", "build_parser", "job_from_args", "run_fresh", "run_replay"]

@@ -1,0 +1,491 @@
+"""The online streaming localization engine.
+
+:class:`StreamingLocalizer` ingests measurement events one at a time and
+maintains every open (URL, anomaly, window) tomography problem
+incrementally: each observation appends at most one clause to its
+problems' ledgers, the resumable unit-propagation closure updates in
+place, and verdict-delta events go out to subscribers as the candidate
+sets tighten.  Windows are keyed and bucketed exactly like the batch
+splitter (:func:`repro.core.splitting.window_start`), close as the stream
+watermark passes their end, and confirm censors only at close — so a
+confirmed identification can never be retracted by a later in-order event
+(the verdict-monotonicity invariant).
+
+Draining a full campaign through the engine produces a
+:class:`~repro.core.pipeline.PipelineResult` byte-identical to
+``LocalizationPipeline.run`` over the same measurements: the ledgers, the
+final solve (:func:`~repro.core.problem.solve_ledger`), and the report
+assembly (:func:`~repro.core.pipeline.assemble_result`) are the very same
+code both ways.  The equivalence guard in ``tests/test_stream.py`` pins
+this on the tiny and small presets.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.anomaly import Anomaly
+from repro.core.observations import (
+    DiscardStats,
+    Observation,
+    observations_of,
+)
+from repro.core.pipeline import PipelineConfig, PipelineResult, assemble_result
+from repro.core.problem import ProblemSolution, ProblemSolveCache, SolutionStatus
+from repro.core.splitting import ProblemKey, window_start
+from repro.iclab.measurement import Measurement
+from repro.stream.events import Subscriber, VerdictEvent, VerdictKind
+from repro.stream.state import ProblemState, StreamStats
+from repro.topology.ip2as import IpToAsDatabase
+from repro.util.timeutil import TimeWindow
+
+# How an observation falling inside an already-closed window is handled:
+# "reopen" withdraws the window's confirmation (emitting CENSOR_RETRACTED
+# for identifications that lose their last support) and re-closes it at
+# the next watermark advance; "error" raises StreamOrderError.  In-order
+# sources — the drip feed and dataset replay — never trigger either.
+LATE_REOPEN = "reopen"
+LATE_ERROR = "error"
+
+# Buckets mirror repro.core.splitting exactly: (anomaly, url,
+# granularity index, window start).
+_Bucket = Tuple[Anomaly, str, int, int]
+
+
+class StreamOrderError(ValueError):
+    """A late observation arrived for a closed window (policy "error")."""
+
+
+@dataclass(frozen=True)
+class CensorIdentification:
+    """One confirmed identification, for the time-to-localization report."""
+
+    asn: int
+    key: ProblemKey
+    timestamp: int               # stream watermark at confirmation
+    observations_ingested: int
+    measurements_ingested: int
+    sequence: int
+
+
+class StreamingLocalizer:
+    """Online localization over a stream of measurements/observations."""
+
+    def __init__(
+        self,
+        ip2as: IpToAsDatabase,
+        country_by_asn: Dict[int, str],
+        config: PipelineConfig = PipelineConfig(),
+        late_policy: str = LATE_REOPEN,
+    ) -> None:
+        if late_policy not in (LATE_REOPEN, LATE_ERROR):
+            raise ValueError(f"unknown late policy: {late_policy!r}")
+        self.ip2as = ip2as
+        self.country_by_asn = dict(country_by_asn)
+        self.config = config
+        self.late_policy = late_policy
+        self.stats = StreamStats()
+        self.identifications: List[CensorIdentification] = []
+        self._granularities = list(config.granularities)
+        self._sizes = [
+            (index, granularity.seconds)
+            for index, granularity in enumerate(self._granularities)
+        ]
+        self._cache = ProblemSolveCache()
+        self._states: Dict[_Bucket, ProblemState] = {}
+        self._keys: Dict[_Bucket, ProblemKey] = {}
+        self._order: List[_Bucket] = []           # creation order (= batch)
+        self._final: Dict[_Bucket, Optional[ProblemSolution]] = {}
+        self._heap: List[Tuple[int, int, _Bucket]] = []  # (end, tie, bucket)
+        self._tie = 0
+        self._watermark: Optional[int] = None
+        self._sequence = 0
+        self._confirmed: Dict[int, int] = {}      # asn → closed confirmations
+        self._subscribers: List[Subscriber] = []
+        self._discard = DiscardStats()
+        self._conversion_cache: Dict = {}
+        self._drained: Optional[PipelineResult] = None
+        self._last_measurement_id: Optional[int] = None
+
+    # -- subscriptions ----------------------------------------------------
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Register a callback for every verdict-delta event."""
+        self._subscribers.append(subscriber)
+
+    def _emit(self, event: VerdictEvent) -> None:
+        self.stats.events_emitted += 1
+        for subscriber in self._subscribers:
+            subscriber(event)
+
+    def _next_sequence(self) -> int:
+        self._sequence += 1
+        return self._sequence
+
+    # -- querying ---------------------------------------------------------
+
+    @property
+    def watermark(self) -> Optional[int]:
+        """Largest timestamp ingested so far (None before any event)."""
+        return self._watermark
+
+    @property
+    def open_problems(self) -> int:
+        """Problems whose windows have not closed yet."""
+        return len(self._states) - len(self._final)
+
+    @property
+    def closed_problems(self) -> int:
+        return len(self._final)
+
+    @property
+    def identified_censor_asns(self) -> List[int]:
+        """Distinct *confirmed* censoring ASNs, sorted.
+
+        Only closed windows confirm; this set therefore only grows under
+        in-order ingestion, and after :meth:`drain` it equals the batch
+        pipeline's ``identified_censor_asns`` exactly.
+        """
+        return sorted(
+            asn for asn, count in self._confirmed.items() if count > 0
+        )
+
+    def solution_of(self, key: ProblemKey) -> Optional[ProblemSolution]:
+        """The latest verdict snapshot for one problem, if any."""
+        bucket = self._bucket_of(key)
+        state = self._states.get(bucket)
+        return state.last_solution if state is not None else None
+
+    def _bucket_of(self, key: ProblemKey) -> _Bucket:
+        index = self._granularities.index(key.granularity)
+        return (key.anomaly, key.url, index, key.window.start)
+
+    # -- ingestion --------------------------------------------------------
+
+    def ingest_measurement(self, measurement: Measurement) -> None:
+        """Convert one measurement and ingest its per-anomaly observations.
+
+        Conversion and discard semantics are shared with the batch
+        pipeline (:func:`repro.core.observations.observations_of`), so a
+        replayed dataset produces the exact observation stream
+        ``build_observations`` would.
+        """
+        if self._drained is not None:
+            raise RuntimeError("engine already drained")
+        self.stats.measurements += 1
+        self._last_measurement_id = measurement.measurement_id
+        observations = observations_of(
+            measurement,
+            self.ip2as,
+            anomalies=self.config.anomalies,
+            stats=self._discard,
+            conversion_cache=self._conversion_cache,
+        )
+        if not observations:
+            self.stats.discarded_measurements += 1
+            return
+        for observation in observations:
+            self.ingest_observation(observation, _count_measurement=False)
+
+    def ingest_observation(
+        self, observation: Observation, _count_measurement: bool = True
+    ) -> None:
+        """Ingest one pre-converted observation.
+
+        Direct observation feeds count one *measurement* per distinct
+        ``measurement_id`` (a measurement's per-anomaly observations
+        arrive contiguously from every supported source), so the
+        time-to-localization x-axis stays in measurement units either
+        way.
+        """
+        if self._drained is not None:
+            raise RuntimeError("engine already drained")
+        timestamp = observation.timestamp
+        if timestamp < 0:
+            raise ValueError(f"negative timestamp: {timestamp}")
+        if (
+            _count_measurement
+            and observation.measurement_id != self._last_measurement_id
+        ):
+            self.stats.measurements += 1
+            self._last_measurement_id = observation.measurement_id
+        self.stats.observations += 1
+        if self._watermark is None or timestamp > self._watermark:
+            self._watermark = timestamp
+        self._close_due()
+        url = observation.url
+        anomaly = observation.anomaly
+        for index, size in self._sizes:
+            start = window_start(timestamp, size)
+            bucket = (anomaly, url, index, start)
+            state = self._states.get(bucket)
+            if state is None:
+                if (
+                    self.late_policy == LATE_ERROR
+                    and start + size <= self._watermark
+                ):
+                    # A window that should already be closed is opening
+                    # late: the stream is out of order even though the
+                    # bucket never held data.
+                    raise StreamOrderError(
+                        f"late observation at t={timestamp} for already-"
+                        f"elapsed window [{start}, {start + size})"
+                    )
+                state = self._open_problem(bucket, start, size)
+            elif bucket in self._final:
+                self._reopen(bucket, timestamp)
+            self._apply(bucket, state, observation, timestamp)
+
+    def advance(self, timestamp: int) -> None:
+        """Push the stream watermark forward without an observation.
+
+        Closes every window ending at or before ``timestamp`` — e.g. the
+        end-of-campaign clock tick, or a keep-alive in a live deployment.
+        """
+        if self._watermark is None or timestamp > self._watermark:
+            self._watermark = timestamp
+        self._close_due()
+
+    def merge_discard_stats(self, stats: DiscardStats) -> None:
+        """Fold in conversion/discard tallies made outside the engine.
+
+        Sources that pre-convert measurements themselves (e.g. the
+        no-churn ablation replay, which must filter *observations* before
+        ingestion) record their conversion outcomes here so the drained
+        result's ``discard_stats`` matches the batch pipeline's.
+        """
+        self._discard.total += stats.total
+        self._discard.converted += stats.converted
+        for reason, count in stats.discarded_by_reason.items():
+            self._discard.discarded_by_reason[reason] = (
+                self._discard.discarded_by_reason.get(reason, 0) + count
+            )
+
+    # -- internals --------------------------------------------------------
+
+    def _open_problem(
+        self, bucket: _Bucket, start: int, size: int
+    ) -> ProblemState:
+        anomaly, url, index, _ = bucket
+        key = ProblemKey(
+            url=url,
+            anomaly=anomaly,
+            granularity=self._granularities[index],
+            window=TimeWindow(start, start + size),
+        )
+        state = ProblemState(key, self.config.solution_cap)
+        self._states[bucket] = state
+        self._keys[bucket] = key
+        self._order.append(bucket)
+        heapq.heappush(self._heap, (start + size, self._tie, bucket))
+        self._tie += 1
+        self.stats.problems_opened += 1
+        return state
+
+    def _apply(
+        self,
+        bucket: _Bucket,
+        state: ProblemState,
+        observation: Observation,
+        timestamp: int,
+    ) -> None:
+        previous = state.last_solution
+        if not state.add(observation):
+            return
+        self.stats.clauses_appended += 1
+        if not self._subscribers:
+            return  # verdict deltas are only computed for listeners
+        solution = state.snapshot(self._cache, self.stats)
+        key = self._keys[bucket]
+        if previous is None or solution.status is not previous.status:
+            self._emit(
+                VerdictEvent(
+                    kind=VerdictKind.STATUS_CHANGED,
+                    key=key,
+                    sequence=self._next_sequence(),
+                    timestamp=timestamp,
+                    observations_ingested=self.stats.observations,
+                    measurements_ingested=self.stats.measurements,
+                    solution=solution,
+                    previous_status=(
+                        previous.status.value if previous else None
+                    ),
+                    candidates=_candidates_of(solution),
+                )
+            )
+            return
+        candidates = _candidates_of(solution)
+        previous_candidates = _candidates_of(previous)
+        if candidates < previous_candidates:
+            self._emit(
+                VerdictEvent(
+                    kind=VerdictKind.CANDIDATES_SHRANK,
+                    key=key,
+                    sequence=self._next_sequence(),
+                    timestamp=timestamp,
+                    observations_ingested=self.stats.observations,
+                    measurements_ingested=self.stats.measurements,
+                    solution=solution,
+                    candidates=candidates,
+                )
+            )
+
+    def _close_due(self) -> None:
+        if self._watermark is None:
+            return
+        while self._heap and self._heap[0][0] <= self._watermark:
+            _, _, bucket = heapq.heappop(self._heap)
+            if bucket in self._final:
+                continue  # closed already (reopen leaves stale heap entries)
+            self._close(bucket)
+
+    def _close(self, bucket: _Bucket) -> None:
+        state = self._states[bucket]
+        key = self._keys[bucket]
+        skip = (
+            self.config.skip_anomaly_free_problems and not state.had_anomaly
+        )
+        solution = None if skip else state.finalize(self._cache)
+        self._final[bucket] = solution
+        self.stats.problems_closed += 1
+        timestamp = self._watermark if self._watermark is not None else 0
+        self._emit(
+            VerdictEvent(
+                kind=VerdictKind.WINDOW_CLOSED,
+                key=key,
+                sequence=self._next_sequence(),
+                timestamp=timestamp,
+                observations_ingested=self.stats.observations,
+                measurements_ingested=self.stats.measurements,
+                solution=solution,
+            )
+        )
+        if solution is None:
+            return
+        for asn in sorted(_confirmed_censors_of(solution)):
+            count = self._confirmed.get(asn, 0)
+            self._confirmed[asn] = count + 1
+            if count == 0:
+                sequence = self._next_sequence()
+                self.identifications.append(
+                    CensorIdentification(
+                        asn=asn,
+                        key=key,
+                        timestamp=timestamp,
+                        observations_ingested=self.stats.observations,
+                        measurements_ingested=self.stats.measurements,
+                        sequence=sequence,
+                    )
+                )
+                self._emit(
+                    VerdictEvent(
+                        kind=VerdictKind.CENSOR_IDENTIFIED,
+                        key=key,
+                        sequence=sequence,
+                        timestamp=timestamp,
+                        observations_ingested=self.stats.observations,
+                        measurements_ingested=self.stats.measurements,
+                        solution=solution,
+                        asn=asn,
+                    )
+                )
+
+    def _reopen(self, bucket: _Bucket, timestamp: int) -> None:
+        """Withdraw a closed window's confirmation (late observation)."""
+        if self.late_policy == LATE_ERROR:
+            raise StreamOrderError(
+                f"late observation at t={timestamp} for closed window "
+                f"{self._keys[bucket]}"
+            )
+        solution = self._final.pop(bucket)
+        self.stats.problems_closed -= 1
+        self.stats.problems_reopened += 1
+        heapq.heappush(
+            self._heap,
+            (self._keys[bucket].window.end, self._tie, bucket),
+        )
+        self._tie += 1
+        if solution is None:
+            return
+        for asn in sorted(_confirmed_censors_of(solution)):
+            self._confirmed[asn] -= 1
+            if self._confirmed[asn] == 0:
+                # The identification lost its last supporting window: the
+                # time-to-localization log must not keep reporting it (a
+                # later re-close re-confirms and re-logs).
+                self.identifications = [
+                    identification
+                    for identification in self.identifications
+                    if identification.asn != asn
+                ]
+                self._emit(
+                    VerdictEvent(
+                        kind=VerdictKind.CENSOR_RETRACTED,
+                        key=self._keys[bucket],
+                        sequence=self._next_sequence(),
+                        timestamp=timestamp,
+                        observations_ingested=self.stats.observations,
+                        measurements_ingested=self.stats.measurements,
+                        asn=asn,
+                    )
+                )
+
+    # -- draining ---------------------------------------------------------
+
+    def drain(self) -> PipelineResult:
+        """Close every open window and assemble the final result.
+
+        The returned :class:`PipelineResult` is byte-identical to what
+        ``LocalizationPipeline.run_from_observations`` produces over the
+        same observation sequence — same per-problem solutions in the same
+        creation order, same reports.  Idempotent: repeated calls return
+        the same result object.
+        """
+        if self._drained is not None:
+            return self._drained
+        # Remaining windows close in end order (heap order), exactly as a
+        # watermark pushed past the last window end would close them.
+        while self._heap:
+            _, _, bucket = heapq.heappop(self._heap)
+            if bucket not in self._final:
+                self._close(bucket)
+        solutions = [
+            self._final[bucket]
+            for bucket in self._order
+            if self._final[bucket] is not None
+        ]
+        groups = {
+            self._keys[bucket]: self._states[bucket].observations
+            for bucket in self._order
+        }
+        self._drained = assemble_result(
+            solutions, groups, self._discard, self.country_by_asn
+        )
+        return self._drained
+
+    @property
+    def solve_stats(self):
+        """The shared solve cache's counters (signature hits etc.)."""
+        return self._cache.stats
+
+
+def _candidates_of(solution: ProblemSolution) -> frozenset:
+    """The candidate censor set a verdict narrows: potential censors for
+    2+-solution problems, the pinned censors for unique ones, empty for
+    unsatisfiable ones."""
+    if solution.status is SolutionStatus.MULTIPLE:
+        return solution.potential_censors
+    if solution.status is SolutionStatus.UNIQUE:
+        return solution.censors
+    return frozenset()
+
+
+def _confirmed_censors_of(solution: ProblemSolution) -> frozenset:
+    """Censors a closed window confirms — exactly the ASes the batch
+    censor report would count for this solution (True in every model of a
+    satisfiable problem)."""
+    if solution.status is SolutionStatus.UNSATISFIABLE:
+        return frozenset()
+    return solution.censors

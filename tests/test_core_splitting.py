@@ -1,0 +1,129 @@
+"""Window-boundary bucketing of `core/splitting.py`.
+
+Stream correctness depends on the engine agreeing with the batch splitter
+about which window an observation belongs to — especially *exactly on* a
+window edge, where an off-by-one would put batch and stream on different
+problems.  These tests pin the shared rule (`window_start`): windows are
+half-open ``[start, start + size)``, so a timestamp equal to a boundary
+deterministically opens the *next* window, under every granularity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.anomaly import Anomaly
+from repro.core.observations import Observation
+from repro.core.splitting import split_observations, window_start
+from repro.util.timeutil import DAY, Granularity, WEEK, window_of
+
+
+def _observation(timestamp, url="http://u/", detected=False):
+    return Observation(
+        url=url,
+        anomaly=Anomaly.RST,
+        detected=detected,
+        as_path=(1, 2),
+        timestamp=timestamp,
+        measurement_id=timestamp,
+    )
+
+
+class TestWindowStart:
+    @pytest.mark.parametrize("granularity", list(Granularity))
+    def test_boundary_timestamp_starts_next_window(self, granularity):
+        size = granularity.seconds
+        assert window_start(size, size) == size
+        assert window_start(size - 1, size) == 0
+        assert window_start(size + 1, size) == size
+        assert window_start(0, size) == 0
+
+    @pytest.mark.parametrize("granularity", list(Granularity))
+    @pytest.mark.parametrize(
+        "timestamp", [0, 1, DAY - 1, DAY, DAY + 1, WEEK, 5 * WEEK + 17]
+    )
+    def test_agrees_with_window_of(self, granularity, timestamp):
+        """`window_start` and `timeutil.window_of` are the same rule."""
+        start = window_start(timestamp, granularity.seconds)
+        window = window_of(timestamp, granularity)
+        assert window.start == start
+        assert window.contains(timestamp)
+        assert start % granularity.seconds == 0
+
+
+class TestSplitBoundaries:
+    def test_edge_observation_lands_in_one_bucket_per_granularity(self):
+        """An observation exactly on a day/week edge joins exactly one
+        window per granularity — the one starting at that instant."""
+        groups = split_observations(
+            [_observation(WEEK)],
+            granularities=(Granularity.DAY, Granularity.WEEK),
+        )
+        assert len(groups) == 2
+        by_granularity = {key.granularity: key for key in groups}
+        assert by_granularity[Granularity.DAY].window.start == WEEK
+        assert by_granularity[Granularity.WEEK].window.start == WEEK
+
+    def test_straddling_observations_split_deterministically(self):
+        """One second apart across a day edge → two day problems, one week
+        problem, regardless of granularity order."""
+        observations = [_observation(DAY - 1), _observation(DAY)]
+        for granularities in (
+            (Granularity.DAY, Granularity.WEEK),
+            (Granularity.WEEK, Granularity.DAY),
+        ):
+            groups = split_observations(
+                observations, granularities=granularities
+            )
+            day_keys = [
+                key for key in groups if key.granularity is Granularity.DAY
+            ]
+            week_keys = [
+                key for key in groups if key.granularity is Granularity.WEEK
+            ]
+            assert sorted(key.window.start for key in day_keys) == [0, DAY]
+            assert [key.window.start for key in week_keys] == [0]
+            assert len(groups[week_keys[0]]) == 2
+
+    def test_every_observation_within_its_window(self):
+        timestamps = [0, 1, DAY - 1, DAY, DAY + 1, WEEK - 1, WEEK, WEEK + 1]
+        groups = split_observations(
+            [_observation(t) for t in timestamps],
+            granularities=(Granularity.DAY, Granularity.WEEK),
+        )
+        for key, members in groups.items():
+            for observation in members:
+                assert key.window.contains(observation.timestamp)
+
+    def test_stream_engine_buckets_agree_with_batch(self, tiny_world):
+        """The engine files boundary observations under the exact keys the
+        batch splitter produces (including the edge timestamps)."""
+        from repro.core.pipeline import PipelineConfig
+        from repro.stream import StreamingLocalizer
+
+        timestamps = [0, DAY - 1, DAY, WEEK - 1, WEEK, WEEK + DAY]
+        observations = [_observation(t) for t in timestamps]
+        granularities = (Granularity.DAY, Granularity.WEEK)
+        batch_groups = split_observations(
+            observations, granularities=granularities
+        )
+        engine = StreamingLocalizer(
+            ip2as=tiny_world.ip2as,
+            country_by_asn=tiny_world.country_by_asn,
+            config=PipelineConfig(granularities=granularities),
+        )
+        for observation in observations:
+            engine.ingest_observation(observation)
+        result = engine.drain()
+        assert list(result.observations_by_key) == list(batch_groups)
+        assert {
+            key: [o.timestamp for o in group]
+            for key, group in result.observations_by_key.items()
+        } == {
+            key: [o.timestamp for o in group]
+            for key, group in batch_groups.items()
+        }
+
+    def test_negative_timestamp_rejected(self):
+        with pytest.raises(ValueError):
+            split_observations([_observation(-1)])
