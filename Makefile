@@ -19,13 +19,16 @@ bench:
 
 # The perf trajectory: run the headline + micro benches under
 # pytest-benchmark and append a numbered BENCH_<n>.json snapshot (n =
-# number of existing snapshots).  Compare snapshots across PRs to catch
-# regressions; CI runs this non-blocking.
+# number of existing snapshots).  Snapshots are slimmed before landing
+# (raw per-round sample arrays stripped; summary stats kept) so each one
+# costs ~60 KiB instead of ~1.4 MiB.  Compare snapshots across PRs to
+# catch regressions; CI runs this non-blocking.
 bench-json:
 	@n=$$(ls BENCH_*.json 2>/dev/null | wc -l); \
 	echo "writing BENCH_$$n.json"; \
 	$(PYTHON) -m pytest benchmarks/bench_headline.py benchmarks/bench_micro.py \
 	    -q --benchmark-json=BENCH_$$n.json && \
+	$(PYTHON) benchmarks/slim_bench.py BENCH_$$n.json && \
 	$(PYTHON) -c "import json;d=json.load(open('BENCH_$$n.json'));print('\n'.join(f\"{b['name']}: {b['stats']['mean']*1000:.2f} ms (mean)\" for b in d['benchmarks']))"
 
 clean:

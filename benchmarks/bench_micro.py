@@ -6,7 +6,10 @@ traceroute-to-AS-path conversion.
 """
 
 import itertools
+import json
 
+from repro.api import ExecutionPolicy, SessionConfig
+from repro.api.backends import BackendContext, ShardedBackend
 from repro.core.aspath import convert_measurement
 from repro.core.observations import build_observations
 from repro.core.pipeline import PipelineConfig
@@ -14,6 +17,7 @@ from repro.routing.bgp import RouteComputer
 from repro.sat.cnf import CNF, Clause
 from repro.sat.solver import Solver
 from repro.stream import StreamingLocalizer
+from repro.stream.checkpoint import engine_state, restore_engine
 from repro.util.rng import DeterministicRNG
 
 
@@ -144,3 +148,82 @@ def test_micro_stream_ingest(benchmark, bench_world, bench_dataset):
         mean_seconds / slice_size * 1e6, 2
     )
     benchmark.extra_info["verdict_events"] = stats.events_emitted
+
+
+def test_micro_sharded_drain(benchmark, bench_world, bench_dataset):
+    """Sharded-backend drain: route → 4 worker processes → merge.
+
+    The same observation slice ``test_micro_stream_ingest`` drains
+    single-threaded goes through :class:`repro.api.ShardedBackend`
+    instead, measuring the full distributed path — worker forks,
+    per-chunk IPC, parallel incremental solving, and the ordered merge —
+    end to end.  The one-time equality check against the inline engine
+    guards the merge itself.
+    """
+    observations, _ = build_observations(bench_dataset, bench_world.ip2as)
+    slice_size = min(len(observations), 6000)
+    feed = observations[:slice_size]
+    config = SessionConfig(
+        preset="paper_shaped",
+        execution=ExecutionPolicy(backend="sharded", shards=4),
+    )
+
+    def drain():
+        backend = ShardedBackend(
+            BackendContext(
+                config=config,
+                ip2as=bench_world.ip2as,
+                country_by_asn=bench_world.country_by_asn,
+            )
+        )
+        for observation in feed:
+            backend.ingest_observation(observation)
+        return backend.drain()
+
+    result = benchmark.pedantic(drain, rounds=3, iterations=1)
+    inline = StreamingLocalizer(
+        bench_world.ip2as, bench_world.country_by_asn
+    )
+    for observation in feed:
+        inline.ingest_observation(observation)
+    assert result.to_dict() == inline.drain().to_dict()
+    mean_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["observations"] = slice_size
+    benchmark.extra_info["shards"] = 4
+    benchmark.extra_info["events_per_sec"] = round(
+        slice_size / mean_seconds, 1
+    )
+
+
+def test_micro_checkpoint_roundtrip(benchmark, bench_world, bench_dataset):
+    """Checkpoint/restore round-trip cost on a loaded engine.
+
+    Serializes a mid-campaign engine (thousands of open/closed windows)
+    through the full persistence path — state export, JSON encode/decode,
+    and ledger/closure reconstruction by replay — the per-checkpoint tax
+    a restartable consumer pays.  ``extra_info`` records the payload
+    size, the other half of the checkpoint budget.
+    """
+    observations, _ = build_observations(bench_dataset, bench_world.ip2as)
+    feed = observations[: min(len(observations), 4000)]
+    engine = StreamingLocalizer(
+        bench_world.ip2as, bench_world.country_by_asn
+    )
+    for observation in feed:
+        engine.ingest_observation(observation)
+
+    def roundtrip():
+        payload = json.dumps(engine_state(engine))
+        return restore_engine(
+            json.loads(payload),
+            bench_world.ip2as,
+            bench_world.country_by_asn,
+        )
+
+    restored = benchmark.pedantic(roundtrip, rounds=3, iterations=1)
+    assert restored.open_problems == engine.open_problems
+    assert restored.closed_problems == engine.closed_problems
+    benchmark.extra_info["observations"] = len(feed)
+    benchmark.extra_info["state_bytes"] = len(
+        json.dumps(engine_state(engine))
+    )

@@ -1,0 +1,92 @@
+"""Slim pytest-benchmark JSON snapshots for committing to the repo.
+
+pytest-benchmark's ``--benchmark-json`` output embeds every raw
+per-round timing sample (``stats.data``) — ~95% of a snapshot's bytes
+and useless for the cross-PR trajectory, which only compares summary
+statistics.  This tool strips the sample arrays in place (or to a new
+file), keeping each benchmark's name, group, params, extra_info, and
+the full summary ``stats`` — everything ``diff_bench.py`` and the CI
+job summary read.  A ``slimmed`` marker records the transformation;
+``diff_bench.py`` reads slimmed and raw snapshots interchangeably.
+
+Usage::
+
+    python benchmarks/slim_bench.py BENCH_2.json            # in place
+    python benchmarks/slim_bench.py raw.json --out slim.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import Any, Dict
+
+# Per-benchmark keys worth keeping: identity, parameters, options, the
+# summary statistics, and any extra_info the bench recorded.
+_BENCH_KEYS = (
+    "group",
+    "name",
+    "fullname",
+    "params",
+    "param",
+    "extra_info",
+    "options",
+    "stats",
+)
+
+
+def slim_payload(payload: Dict[str, Any]) -> Dict[str, Any]:
+    """A copy of one pytest-benchmark document without raw samples."""
+    slimmed = {
+        key: payload[key]
+        for key in ("machine_info", "commit_info", "datetime", "version")
+        if key in payload
+    }
+    slimmed["slimmed"] = True
+    benches = []
+    for bench in payload.get("benchmarks", []):
+        entry = {
+            key: bench[key] for key in _BENCH_KEYS if key in bench
+        }
+        stats = dict(entry.get("stats", {}))
+        stats.pop("data", None)
+        entry["stats"] = stats
+        benches.append(entry)
+    slimmed["benchmarks"] = benches
+    return slimmed
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Strip raw per-round samples from a benchmark JSON."
+    )
+    parser.add_argument("snapshot", help="pytest-benchmark JSON file")
+    parser.add_argument(
+        "--out",
+        default=None,
+        help="output path (default: rewrite the input in place)",
+    )
+    args = parser.parse_args(argv)
+    source = Path(args.snapshot)
+    with open(source, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    before = source.stat().st_size
+    slimmed = slim_payload(payload)
+    target = Path(args.out) if args.out else source
+    data = json.dumps(slimmed, indent=1, sort_keys=True) + "\n"
+    with open(target, "w", encoding="utf-8") as handle:
+        handle.write(data)
+    after = target.stat().st_size
+    print(
+        f"{source.name}: {before / 1024:.0f} KiB -> "
+        f"{after / 1024:.0f} KiB "
+        f"({len(slimmed['benchmarks'])} benchmarks)",
+        file=sys.stderr,
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -2,28 +2,31 @@
 """Churn ablation: what does path instability buy the tomography?
 
 Reproduces the paper's Figure-4 experiment as a two-job sweep: the same
-scenario seed run with and without churn (the runner's ``churn`` axis
-applies the first-observed-distinct-path filter), compared on CNF
-solvability and censor identification.  Also prints the Figure-3 churn
-profile of the world so the two can be read together.
+scenario seed run with and without churn (the ``churn`` axis applies the
+first-observed-distinct-path filter), compared on CNF solvability and
+censor identification.  Also prints the Figure-3 churn profile of the
+world so the two can be read together.
 
 The grid is declared once as a :class:`repro.runner.SweepSpec` — the same
-spec the ``repro-runner`` CLI takes — and run in-process, so this example
-is also the smallest template for scripting your own ablation sweeps.
+spec the ``repro-runner`` CLI takes — and the with-churn leg runs through
+a :class:`repro.api.LocalizationSession`, so this example is also the
+smallest template for scripting your own ablation sweeps on the façade.
 
-Run with:  python examples/churn_ablation.py [seed]
+Run with:  python examples/churn_ablation.py [--preset small] [--seed 0]
 """
 
+import argparse
 import dataclasses
-import sys
 
 from repro.analysis.churn import churn_from_observations
 from repro.analysis.solvability import SolvabilityHistogram
 from repro.analysis.tables import format_histogram, format_table
 from repro.anomaly import Anomaly
+from repro.api import LocalizationSession, SessionConfig
 from repro.core.observations import build_observations
 from repro.core.pipeline import PipelineResult
-from repro.runner import SweepSpec, run_job
+from repro.runner import SweepSpec
+from repro.scenario.presets import PRESETS
 from repro.util.timeutil import Granularity
 
 
@@ -35,15 +38,22 @@ def censored_histogram(result: PipelineResult, label: str) -> SolvabilityHistogr
     return histogram
 
 
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()
+
+
 def main() -> None:
-    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    args = parse_args()
 
     # One declarative grid: the same world with and without churn, on
     # sweep scheduling so intra-day churn is observable at all.
     spec = SweepSpec(
         name="churn-ablation",
-        preset="small",
-        master_seed=seed,
+        preset=args.preset,
+        master_seed=args.seed,
         num_seeds=1,
         churn_modes=("with", "without"),
         schedule="sweep",
@@ -52,17 +62,18 @@ def main() -> None:
     # Pin the scenario seed to the CLI argument (a SweepSpec derives its
     # own seeds from the master seed) so the world here stays comparable
     # with quickstart.py and leakage_study.py at the same seed.
-    jobs = [dataclasses.replace(job, seed=seed) for job in spec.expand()]
+    jobs = [dataclasses.replace(job, seed=args.seed) for job in spec.expand()]
     with_job, without_job = jobs
     print(f"sweep {spec.name!r}: {len(jobs)} jobs, scenario seed {with_job.seed}")
 
     # Both jobs share a scenario seed, so build the world and run the
-    # campaign once; the ablation itself is a pipeline-side filter.
-    with_outcome = run_job(with_job)
+    # campaign once; the ablation itself is a replay-side filter the
+    # session applies over the same dataset.
+    with_outcome = LocalizationSession(SessionConfig.from_job(with_job)).run()
     world, dataset = with_outcome.world, with_outcome.dataset
-    without_churn = world.pipeline(
-        without_job.pipeline_config()
-    ).run_without_churn(dataset)
+    without_churn = world.session(
+        SessionConfig.from_job(without_job)
+    ).replay(dataset, without_churn=True)
     print(f"{len(dataset):,} measurements")
 
     observations, discards = build_observations(

@@ -9,19 +9,29 @@ one level deeper than the headline tables, exercising the public API for:
 - rendering the Figure-5-style country flow matrix, and
 - checking the "leakage is mostly regional" observation.
 
-Run with:  python examples/leakage_study.py [seed]
+Run with:  python examples/leakage_study.py [--preset small] [--seed 1]
 """
 
-import sys
+import argparse
 
 from repro.analysis.reports import flow_matrix_rows, regional_leakage_fraction
 from repro.analysis.tables import format_table
-from repro.runner import JobSpec, run_job
+from repro.api import LocalizationSession
+from repro.scenario.presets import PRESETS
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    parser.add_argument("--seed", type=int, default=1)
+    return parser.parse_args()
 
 
 def main() -> None:
-    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 1
-    outcome = run_job(JobSpec(preset="small", seed=seed))
+    args = parse_args()
+    outcome = LocalizationSession.from_preset(
+        args.preset, seed=args.seed
+    ).run()
     world, result = outcome.world, outcome.result
     leakage = result.leakage_report
 

@@ -1,29 +1,40 @@
 #!/usr/bin/env python3
-"""Quickstart: one declarative job, end to end.
+"""Quickstart: one declarative session, end to end.
 
 This is the smallest use of the library: describe a run as a
-:class:`repro.runner.JobSpec` (scenario preset + seed + pipeline knobs)
-and let the runner build the world, run the ICLab-style measurement
-campaign, and localize the censors.  The returned outcome keeps every
-artifact live — the world (with its hidden ground truth), the dataset,
-and the pipeline result — for drilling in.
+:class:`repro.api.SessionConfig` (scenario preset + seed + pipeline
+knobs + execution policy) and let a
+:class:`repro.api.LocalizationSession` build the world, run the
+ICLab-style measurement campaign, and localize the censors.  The
+returned outcome keeps every artifact live — the world (with its hidden
+ground truth), the dataset, and the pipeline result — for drilling in.
 
-Run with:  python examples/quickstart.py [seed]
+Run with:  python examples/quickstart.py [--preset small] [--seed 0]
 """
 
-import sys
+import argparse
 
 from repro.analysis.tables import format_table
+from repro.api import LocalizationSession, SessionConfig
 from repro.core.problem import SolutionStatus
-from repro.runner import JobSpec, run_job, summarize_result
+from repro.runner import summarize_result
+from repro.scenario.presets import PRESETS
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    parser.add_argument("--seed", type=int, default=0)
+    return parser.parse_args()
 
 
 def main() -> None:
-    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
+    args = parse_args()
 
-    job = JobSpec(preset="small", seed=seed)
-    print(f"== running job {job.label} (id {job.job_id}) ==")
-    outcome = run_job(job)
+    config = SessionConfig(preset=args.preset, seed=args.seed)
+    job = config.job_spec()
+    print(f"== running session {job.label} (id {job.job_id}) ==")
+    outcome = LocalizationSession(config).run()
     world, dataset, result = outcome.world, outcome.dataset, outcome.result
 
     print(

@@ -2,30 +2,53 @@
 """Streaming quickstart: watch verdicts tighten as the campaign runs.
 
 Instead of running a full campaign and solving everything in batch, this
-example attaches the online engine (:mod:`repro.stream`) to the
-measurement platform's drip feed: every test the platform executes flows
-into the engine the moment it completes, open tomography problems update
-incrementally, and verdict events print as candidate sets shrink and
-censors get confirmed.  At the end, the drained stream result is compared
-byte-for-byte against the batch pipeline, and the time-to-localization
-table shows how many measurements each true censor took to pin down.
+example opens a :class:`repro.api.LocalizationSession` in live-ingest
+mode: every test the platform executes flows into the session's
+execution backend the moment it completes, open tomography problems
+update incrementally, and verdict events print as candidate sets shrink
+and censors get confirmed.  With ``--shards N`` the same stream is
+partitioned across N worker processes by the bucket key — the drained
+result is byte-identical either way, which the final batch comparison
+demonstrates.  The time-to-localization table shows how many
+measurements each true censor took to pin down.
 
-Run with:  python examples/streaming_quickstart.py [seed]
+Run with:  python examples/streaming_quickstart.py [--preset small]
+           [--seed 0] [--shards N]
 """
 
-import sys
+import argparse
 
 from repro.analysis.localization_time import TTL_HEADERS, TimeToLocalization
 from repro.analysis.tables import format_table
-from repro.scenario import build_world, small
-from repro.stream import StreamingLocalizer, VerdictKind, stream_campaign
+from repro.api import ExecutionPolicy, LocalizationSession, SessionConfig
+from repro.scenario.presets import PRESETS
+from repro.stream import VerdictKind
+
+
+def parse_args() -> argparse.Namespace:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--preset", default="small", choices=sorted(PRESETS))
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="partition across N worker processes (0 = inline)",
+    )
+    return parser.parse_args()
 
 
 def main() -> None:
-    seed = int(sys.argv[1]) if len(sys.argv) > 1 else 0
-    world = build_world(small(seed=seed))
-    engine = StreamingLocalizer(
-        ip2as=world.ip2as, country_by_asn=world.country_by_asn
+    args = parse_args()
+    execution = (
+        ExecutionPolicy(backend="sharded", shards=args.shards)
+        if args.shards > 0
+        else ExecutionPolicy()
+    )
+    session = LocalizationSession(
+        SessionConfig(
+            preset=args.preset, seed=args.seed, execution=execution
+        )
     )
 
     # Print only the decisive moments; STATUS_CHANGED fires constantly.
@@ -36,13 +59,16 @@ def main() -> None:
         ):
             print("  " + event.describe())
 
-    engine.subscribe(narrate)
+    session.subscribe(narrate)
 
-    print(f"== streaming the small campaign (seed {seed}) ==")
-    dataset = stream_campaign(world, engine)
-    result = engine.drain()
+    print(
+        f"== streaming the {args.preset} campaign (seed {args.seed}, "
+        f"{execution.backend} backend) =="
+    )
+    outcome = session.stream()
+    world, dataset, result = outcome.world, outcome.dataset, outcome.result
 
-    stats = engine.stats
+    stats = session.stats
     print(
         f"\ndrained {stats.measurements} measurements into "
         f"{len(result.solutions)} problems "
@@ -55,7 +81,7 @@ def main() -> None:
     print(f"batch equivalence: {'byte-identical' if identical else 'MISMATCH'}")
 
     truth = sorted(world.deployment.censor_asns)
-    ttl = TimeToLocalization.from_engine(engine)
+    ttl = TimeToLocalization.from_engine(session)
     print()
     print(
         format_table(

@@ -23,6 +23,7 @@ paper-vs-measured record of every table and figure.
 
 from repro import (
     analysis,
+    api,
     censorship,
     core,
     iclab,
@@ -44,6 +45,7 @@ __version__ = "1.0.0"
 __all__ = [
     "Anomaly",
     "analysis",
+    "api",
     "censorship",
     "core",
     "iclab",

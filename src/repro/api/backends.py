@@ -1,0 +1,1091 @@
+"""Pluggable execution backends for :class:`LocalizationSession`.
+
+A backend owns the *drain path*: observations go in (one at a time or as
+a whole dataset), verdict events come out, and ``drain()`` produces the
+final :class:`~repro.core.pipeline.PipelineResult`.  Two implementations:
+
+- :class:`InlineBackend` — the current single-threaded paths: the batch
+  :class:`~repro.core.pipeline.LocalizationPipeline` for one-shot dataset
+  runs, one :class:`~repro.stream.engine.StreamingLocalizer` for
+  everything incremental.
+- :class:`ShardedBackend` — open windows partitioned across worker
+  processes by the existing bucket key.  All granularities of one
+  (URL, anomaly) pair share every bucket-key prefix, so that pair *is*
+  the shard key: each observation routes to exactly one worker, every
+  worker holds complete ledgers for the problems it owns, and the merged
+  drain is byte-identical to the inline one.  The parent converts
+  measurements itself (one conversion, one discard tally), tracks the
+  global bucket-creation order (which fixes the merged solution order the
+  reduction statistics depend on), and re-sequences the workers' verdict
+  events into one subscriber stream.
+
+Both backends checkpoint: ``state()`` exports one backend-agnostic
+engine-state dict (:mod:`repro.stream.checkpoint` format), ``restore()``
+rebuilds from it — so a campaign checkpointed under one backend can
+resume under the other, or under a different shard count.
+
+Worker plumbing mirrors the sweep executor: one process per shard, a
+duplex pipe, and a daemon receiver thread per worker draining the pipe
+into a queue so neither side ever blocks the other into a deadlock (the
+parent's sends can only stall while a worker is mid-ingest, and workers
+always return to ``recv`` because their sends are always drained).
+"""
+
+from __future__ import annotations
+
+import abc
+import queue as queue_module
+import threading
+import zlib
+from dataclasses import dataclass, field, replace
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.observations import (
+    DiscardStats,
+    Observation,
+    build_observations,
+    first_path_only,
+    observations_of,
+)
+from repro.core.pipeline import (
+    LocalizationPipeline,
+    PipelineResult,
+    assemble_result,
+    observation_from_dict,
+    observation_to_dict,
+    problem_key_from_dict,
+    problem_key_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+)
+from repro.core.problem import SolutionStatus
+from repro.core.splitting import ProblemKey, window_start
+from repro.iclab.dataset import Dataset
+from repro.iclab.measurement import Measurement
+from repro.stream.checkpoint import (
+    STATE_FORMAT,
+    discard_from_dict,
+    discard_to_dict,
+    engine_state,
+    identification_from_dict,
+    identification_to_dict,
+    restore_engine,
+)
+from repro.stream.engine import (
+    LATE_ERROR,
+    StreamingLocalizer,
+    StreamOrderError,
+)
+from repro.stream.events import Subscriber, VerdictEvent
+from repro.stream.state import StreamStats
+from repro.util.profiling import StageTimer, maybe_stage
+from repro.util.timeutil import TimeWindow
+
+from repro.api.config import SessionConfig
+
+# Un-consumed worker replies the parent allows per shard before blocking;
+# bounds parent-side queue memory without serializing the pipeline.
+MAX_OUTSTANDING = 8
+
+
+def shard_of(url: str, anomaly_value: str, shards: int) -> int:
+    """The worker owning every window of one (URL, anomaly) pair.
+
+    A stable content hash (not Python's randomized ``hash``) so the same
+    observation routes identically in every process and every run.
+    """
+    digest = zlib.crc32(f"{anomaly_value}|{url}".encode("utf-8"))
+    return digest % shards
+
+
+class BackendError(RuntimeError):
+    """A worker process failed or died mid-stream."""
+
+
+@dataclass
+class BackendContext:
+    """Everything a backend needs from its session, in one place."""
+
+    config: SessionConfig
+    ip2as: Any                      # IpToAsDatabase; None for replay-only
+    country_by_asn: Dict[int, str]
+    subscribers: List[Subscriber] = field(default_factory=list)
+
+
+class ExecutionBackend(abc.ABC):
+    """The drain path contract every backend implements."""
+
+    def __init__(self, context: BackendContext) -> None:
+        self.context = context
+
+    # -- incremental surface ---------------------------------------------
+
+    @abc.abstractmethod
+    def ingest_measurement(self, measurement: Measurement) -> None:
+        """Convert one measurement and ingest its observations."""
+
+    @abc.abstractmethod
+    def ingest_observation(self, observation: Observation) -> None:
+        """Ingest one pre-converted observation."""
+
+    @abc.abstractmethod
+    def advance(self, timestamp: int) -> None:
+        """Push the stream watermark forward without an observation."""
+
+    @abc.abstractmethod
+    def merge_discard_stats(self, stats: DiscardStats) -> None:
+        """Fold in conversion tallies made outside the backend."""
+
+    @abc.abstractmethod
+    def drain(self) -> PipelineResult:
+        """Close every window and assemble the final result."""
+
+    # -- one-shot dataset workload ---------------------------------------
+
+    @abc.abstractmethod
+    def run_dataset(
+        self,
+        dataset: Dataset,
+        without_churn: bool = False,
+        timer: Optional[StageTimer] = None,
+    ) -> PipelineResult:
+        """Localize a complete dataset (the batch workload)."""
+
+    # -- checkpointing ----------------------------------------------------
+
+    @abc.abstractmethod
+    def state(self) -> Dict[str, Any]:
+        """The resumable engine state (:mod:`repro.stream.checkpoint`)."""
+
+    @abc.abstractmethod
+    def restore(self, state: Dict[str, Any]) -> None:
+        """Rebuild from :meth:`state` output; call before any ingestion."""
+
+    # -- lifecycle / reporting --------------------------------------------
+
+    def close(self) -> None:
+        """Release worker processes (no-op for in-process backends)."""
+
+    @property
+    @abc.abstractmethod
+    def stats(self) -> StreamStats:
+        """Stream counters (merged across shards where applicable)."""
+
+    @property
+    @abc.abstractmethod
+    def identifications(self) -> List:
+        """Confirmed-censor log for the time-to-localization report."""
+
+
+class InlineBackend(ExecutionBackend):
+    """The current single-threaded paths, behind the backend contract."""
+
+    def __init__(self, context: BackendContext) -> None:
+        super().__init__(context)
+        config = context.config
+        self.engine = StreamingLocalizer(
+            ip2as=context.ip2as,
+            country_by_asn=context.country_by_asn,
+            config=config.pipeline_config(),
+            late_policy=config.execution.late_policy,
+        )
+        if context.subscribers:
+            self.engine.subscribe(self._dispatch)
+
+    def _dispatch(self, event: VerdictEvent) -> None:
+        for subscriber in self.context.subscribers:
+            subscriber(event)
+
+    def ingest_measurement(self, measurement: Measurement) -> None:
+        self.engine.ingest_measurement(measurement)
+
+    def ingest_observation(self, observation: Observation) -> None:
+        self.engine.ingest_observation(observation)
+
+    def advance(self, timestamp: int) -> None:
+        self.engine.advance(timestamp)
+
+    def merge_discard_stats(self, stats: DiscardStats) -> None:
+        self.engine.merge_discard_stats(stats)
+
+    def drain(self) -> PipelineResult:
+        return self.engine.drain()
+
+    def run_dataset(
+        self,
+        dataset: Dataset,
+        without_churn: bool = False,
+        timer: Optional[StageTimer] = None,
+    ) -> PipelineResult:
+        """One-shot batch over the reference single-threaded paths.
+
+        With no subscribers this is the plain ``LocalizationPipeline``
+        fast path (no per-observation verdict work).  With subscribers
+        the same observations replay through the engine instead — byte-
+        identical drain, but verdict events fire and the stream counters
+        populate, matching what the sharded backend's ``run_dataset``
+        observably does.
+        """
+        if (
+            self.engine.open_problems
+            or self.engine.closed_problems
+            or self.engine.stats.measurements
+            or self.engine.stats.observations
+        ):
+            raise RuntimeError(
+                "run_dataset() needs a fresh backend; this one already "
+                "holds ingested or restored state — keep using the "
+                "incremental surface and drain()"
+            )
+        if self.context.subscribers:
+            with maybe_stage(timer, "pipeline.observations"):
+                observations, stats = build_observations(
+                    dataset,
+                    self.context.ip2as,
+                    anomalies=self.context.config.pipeline_config().anomalies,
+                )
+            self.engine.merge_discard_stats(stats)
+            if without_churn:
+                observations = first_path_only(observations)
+            for observation in observations:
+                self.engine.ingest_observation(observation)
+            return self.engine.drain()
+        pipeline = LocalizationPipeline(
+            ip2as=self.context.ip2as,
+            country_by_asn=self.context.country_by_asn,
+            config=self.context.config.pipeline_config(),
+            timer=timer,
+        )
+        if without_churn:
+            return pipeline.run_without_churn(dataset)
+        return pipeline.run(dataset)
+
+    def state(self) -> Dict[str, Any]:
+        return engine_state(self.engine)
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        self.engine = restore_engine(
+            state,
+            self.context.ip2as,
+            self.context.country_by_asn,
+            config=self.context.config.pipeline_config(),
+            late_policy=self.context.config.execution.late_policy,
+        )
+        if self.context.subscribers:
+            self.engine.subscribe(self._dispatch)
+
+    @property
+    def stats(self) -> StreamStats:
+        return self.engine.stats
+
+    @property
+    def identifications(self) -> List:
+        return self.engine.identifications
+
+    @property
+    def solve_stats(self):
+        return self.engine.solve_stats
+
+
+# -- sharded backend -------------------------------------------------------
+
+
+def _mp_context():
+    # One start-method policy for all worker pools; the rationale lives
+    # with the sweep executor.  Deferred import: the executor imports
+    # this package's session module lazily, never at load time, so the
+    # call-time import cannot cycle.
+    from repro.runner.executor import _pool_context
+
+    return _pool_context()
+
+
+def _shard_worker_main(
+    conn, config_payload: Dict[str, Any], want_events: bool
+) -> None:
+    """One shard: an engine over this worker's (URL, anomaly) pairs.
+
+    Replies exactly once per request — the flow-control contract the
+    parent's outstanding counters rely on.  The engine runs without an
+    IP-to-AS database (the parent pre-converts) and with an empty country
+    map (the parent assembles the merged result).
+    """
+    config = SessionConfig.from_dict(config_payload)
+    pipeline_config = config.pipeline_config()
+    late_policy = config.execution.late_policy
+    events: List[VerdictEvent] = []
+
+    def fresh_engine() -> StreamingLocalizer:
+        engine = StreamingLocalizer(
+            ip2as=None,
+            country_by_asn={},
+            config=pipeline_config,
+            late_policy=late_policy,
+        )
+        if want_events:
+            engine.subscribe(events.append)
+        return engine
+
+    engine = fresh_engine()
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "obs":
+                for payload in message[1]:
+                    engine.ingest_observation(observation_from_dict(payload))
+                conn.send(("events", _take_events(events)))
+            elif kind == "advance":
+                engine.advance(message[1])
+                conn.send(("events", _take_events(events)))
+            elif kind == "state":
+                conn.send(("state", engine_state(engine)))
+            elif kind == "restore":
+                engine = restore_engine(
+                    message[1], None, {}, pipeline_config, late_policy
+                )
+                if want_events:
+                    engine.subscribe(events.append)
+                conn.send(("ok",))
+            elif kind == "drain":
+                engine.close_all()
+                conn.send(("drain", _drain_payload(engine, events)))
+            elif kind == "stop":
+                break
+            else:  # pragma: no cover - protocol bug guard
+                raise ValueError(f"unknown message kind {kind!r}")
+    except EOFError:  # parent died; nothing to report to
+        pass
+    except Exception as exc:  # noqa: BLE001 - ship the failure upstream
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except OSError:
+            pass
+    finally:
+        conn.close()
+
+
+def _take_events(events: List[VerdictEvent]) -> List[Dict[str, Any]]:
+    payload = [event.to_dict() for event in events]
+    events.clear()
+    return payload
+
+
+def _drain_payload(
+    engine: StreamingLocalizer, events: List[VerdictEvent]
+) -> Dict[str, Any]:
+    return {
+        "events": _take_events(events),
+        "problems": [
+            (
+                problem_key_to_dict(key),
+                solution_to_dict(solution) if solution is not None else None,
+            )
+            for key, _, _, solution in engine.problem_records()
+        ],
+        "stats": engine.stats.as_dict(),
+        "confirmed": {
+            str(asn): count
+            for asn, count in sorted(engine._confirmed.items())
+        },
+        "identifications": [
+            identification_to_dict(identification)
+            for identification in engine.identifications
+        ],
+    }
+
+
+class _ShardWorker:
+    """One shard's process, pipe, receiver thread, and reply queue."""
+
+    def __init__(
+        self, ctx, index: int, config_payload: Dict[str, Any],
+        want_events: bool,
+    ) -> None:
+        self.index = index
+        parent_conn, child_conn = ctx.Pipe(duplex=True)
+        self.process = ctx.Process(
+            target=_shard_worker_main,
+            args=(child_conn, config_payload, want_events),
+            # Daemonic: a parent that dies (or errors out) without
+            # close()/drain() must not hang interpreter exit on
+            # multiprocessing's atexit join — shard workers hold no
+            # state worth a graceful shutdown.
+            daemon=True,
+        )
+        self.process.start()
+        child_conn.close()
+        self.conn = parent_conn
+        self.outstanding = 0
+        self.queue: "queue_module.Queue[Optional[Tuple]]" = (
+            queue_module.Queue()
+        )
+        # The receiver owns the blocking recv (executor pattern): worker
+        # sends never back-pressure into a deadlock, and a dead worker
+        # surfaces as a None sentinel instead of a hung parent.
+        self._receiver = threading.Thread(
+            target=self._receive, daemon=True
+        )
+        self._receiver.start()
+
+    def _receive(self) -> None:
+        try:
+            while True:
+                self.queue.put(self.conn.recv())
+        except (EOFError, OSError):
+            self.queue.put(None)
+
+    def send(self, message: Tuple) -> None:
+        self.conn.send(message)
+
+    def next_reply(self, timeout: Optional[float] = None) -> Tuple:
+        try:
+            reply = self.queue.get(timeout=timeout)
+        except queue_module.Empty:
+            raise BackendError(
+                f"shard {self.index} did not reply within {timeout}s"
+            ) from None
+        if reply is None:
+            raise BackendError(
+                f"shard {self.index} died (exit code "
+                f"{self.process.exitcode})"
+            )
+        if reply[0] == "error":
+            raise BackendError(f"shard {self.index} failed: {reply[1]}")
+        return reply
+
+    def close(self) -> None:
+        try:
+            self.conn.send(("stop",))
+        except (BrokenPipeError, OSError):
+            pass
+        self.process.join(timeout=5.0)
+        if self.process.is_alive():
+            self.process.terminate()
+            self.process.join()
+        try:
+            self.conn.close()
+        except OSError:
+            pass
+
+
+class _GroupTracker:
+    """The parent's mirror of the batch splitter, fed one observation at
+    a time: global bucket-creation order plus per-problem observation
+    lists — exactly ``split_observations``'s groups, which the merged
+    drain needs for report assembly and the checkpoint needs for worker
+    state reconstruction."""
+
+    def __init__(self, granularities) -> None:
+        self._granularities = list(granularities)
+        self.sizes = [
+            (index, granularity.seconds)
+            for index, granularity in enumerate(self._granularities)
+        ]
+        self.order: List[Tuple] = []                  # bucket creation order
+        self.keys: Dict[Tuple, ProblemKey] = {}
+        self.groups: Dict[Tuple, List[Observation]] = {}
+
+    def add(self, observation: Observation) -> None:
+        url = observation.url
+        anomaly = observation.anomaly
+        timestamp = observation.timestamp
+        for index, size in self.sizes:
+            start = window_start(timestamp, size)
+            bucket = (anomaly, url, index, start)
+            group = self.groups.get(bucket)
+            if group is None:
+                group = self.groups[bucket] = []
+                self.order.append(bucket)
+                self.keys[bucket] = ProblemKey(
+                    url=url,
+                    anomaly=anomaly,
+                    granularity=self._granularities[index],
+                    window=TimeWindow(start, start + size),
+                )
+            group.append(observation)
+
+    def register(self, key: ProblemKey, observations: List[Observation]):
+        """Adopt one problem wholesale (checkpoint restore)."""
+        bucket = (
+            key.anomaly,
+            key.url,
+            self._granularities.index(key.granularity),
+            key.window.start,
+        )
+        self.order.append(bucket)
+        self.keys[bucket] = key
+        self.groups[bucket] = list(observations)
+
+
+def _key_id(key: ProblemKey) -> Tuple[str, str, str, int]:
+    return (
+        key.url,
+        key.anomaly.value,
+        key.granularity.value,
+        key.window.start,
+    )
+
+
+class ShardedBackend(ExecutionBackend):
+    """Open windows partitioned across worker processes by bucket key."""
+
+    def __init__(self, context: BackendContext) -> None:
+        super().__init__(context)
+        config = context.config
+        self.shards = config.execution.shards
+        self.chunk_size = config.execution.chunk_size
+        pipeline_config = config.pipeline_config()
+        self._anomalies = pipeline_config.anomalies
+        self._late_error = (
+            config.execution.late_policy == LATE_ERROR
+        )
+        self._tracker = _GroupTracker(pipeline_config.granularities)
+        self._discard = DiscardStats()
+        self._stats = StreamStats()     # parent-side ingest counters
+        self._conversion_cache: Dict = {}
+        self._buffers: List[List[Dict[str, Any]]] = [
+            [] for _ in range(self.shards)
+        ]
+        self._workers: Optional[List[_ShardWorker]] = None
+        self._watermark: Optional[int] = None
+        self._sequence = 0              # merged event stream counter
+        self._last_measurement_id: Optional[int] = None
+        self._drained: Optional[PipelineResult] = None
+        self._restore_state: Optional[Dict[str, Any]] = None
+        # Counters/logs carried over from a restored checkpoint; worker
+        # deltas add onto these at drain.  (Confirmed-censor *counts*
+        # have no baseline: restored workers re-derive their own from
+        # their closed windows, so the per-shard sums stay exact.)
+        self._baseline_stats: Dict[str, int] = {}
+        self._baseline_identifications: List[Dict[str, Any]] = []
+        self._merged_stats: Optional[StreamStats] = None
+        self._merged_identifications: List = []
+
+    # -- worker lifecycle --------------------------------------------------
+
+    def _ensure_workers(self) -> List[_ShardWorker]:
+        if self._workers is None:
+            ctx = _mp_context()
+            payload = self.context.config.to_dict()
+            want_events = bool(self.context.subscribers)
+            self._workers = [
+                _ShardWorker(ctx, index, payload, want_events)
+                for index in range(self.shards)
+            ]
+            if self._restore_state is not None:
+                self._send_restore(self._restore_state)
+                self._restore_state = None
+        return self._workers
+
+    def close(self) -> None:
+        if self._workers is not None:
+            for worker in self._workers:
+                worker.close()
+            self._workers = None
+
+    # -- ingestion ---------------------------------------------------------
+
+    def ingest_measurement(self, measurement: Measurement) -> None:
+        """Parent-side conversion: one discard tally, one memo cache —
+        the same semantics the inline engine applies internally."""
+        self._check_not_drained()
+        self._stats.measurements += 1
+        self._last_measurement_id = measurement.measurement_id
+        converted = observations_of(
+            measurement,
+            self.context.ip2as,
+            anomalies=self._anomalies,
+            stats=self._discard,
+            conversion_cache=self._conversion_cache,
+        )
+        if not converted:
+            self._stats.discarded_measurements += 1
+            return
+        for observation in converted:
+            self._ingest(observation, count_measurement=False)
+
+    def ingest_observation(self, observation: Observation) -> None:
+        self._check_not_drained()
+        self._ingest(observation, count_measurement=True)
+
+    def _ingest(
+        self, observation: Observation, count_measurement: bool
+    ) -> None:
+        timestamp = observation.timestamp
+        if timestamp < 0:
+            raise ValueError(f"negative timestamp: {timestamp}")
+        if (
+            count_measurement
+            and observation.measurement_id != self._last_measurement_id
+        ):
+            self._stats.measurements += 1
+            self._last_measurement_id = observation.measurement_id
+        self._stats.observations += 1
+        if self._watermark is None or timestamp > self._watermark:
+            self._watermark = timestamp
+        if self._late_error:
+            # The strict-ordering policy is a *global* promise; shard
+            # engines only see their own lagging watermarks, so the
+            # parent enforces it against the global one (the same
+            # already-elapsed-window rule the inline engine applies).
+            for _, size in self._tracker.sizes:
+                if window_start(timestamp, size) + size <= self._watermark:
+                    raise StreamOrderError(
+                        f"late observation at t={timestamp} for already-"
+                        f"elapsed {size}s window"
+                    )
+        self._tracker.add(observation)
+        shard = shard_of(
+            observation.url, observation.anomaly.value, self.shards
+        )
+        buffer = self._buffers[shard]
+        buffer.append(observation_to_dict(observation))
+        if len(buffer) >= self.chunk_size:
+            self._flush(shard)
+
+    def advance(self, timestamp: int) -> None:
+        self._check_not_drained()
+        if self._watermark is None or timestamp > self._watermark:
+            self._watermark = timestamp
+        workers = self._ensure_workers()
+        self._flush_all()
+        for worker in workers:
+            worker.send(("advance", timestamp))
+            worker.outstanding += 1
+        self._pump()
+        # Same reply bound as _flush: a keep-alive-heavy source must not
+        # grow the parent-side queues without limit.
+        for worker in workers:
+            while worker.outstanding >= MAX_OUTSTANDING:
+                self._handle_reply(worker, worker.next_reply())
+
+    def merge_discard_stats(self, stats: DiscardStats) -> None:
+        self._discard.merge(stats)
+
+    def _check_not_drained(self) -> None:
+        if self._drained is not None:
+            raise RuntimeError("backend already drained")
+
+    # -- worker I/O --------------------------------------------------------
+
+    def _flush(self, shard: int) -> None:
+        workers = self._ensure_workers()
+        buffer = self._buffers[shard]
+        if not buffer:
+            return
+        worker = workers[shard]
+        worker.send(("obs", buffer))
+        worker.outstanding += 1
+        self._buffers[shard] = []
+        self._pump()
+        while worker.outstanding >= MAX_OUTSTANDING:
+            self._handle_reply(worker, worker.next_reply())
+
+    def _flush_all(self) -> None:
+        for shard in range(self.shards):
+            self._flush(shard)
+
+    def _pump(self) -> None:
+        """Drain every already-available worker reply (non-blocking)."""
+        if self._workers is None:
+            return
+        for worker in self._workers:
+            while True:
+                try:
+                    reply = worker.queue.get_nowait()
+                except queue_module.Empty:
+                    break
+                if reply is None:
+                    raise BackendError(
+                        f"shard {worker.index} died (exit code "
+                        f"{worker.process.exitcode})"
+                    )
+                if reply[0] == "error":
+                    raise BackendError(
+                        f"shard {worker.index} failed: {reply[1]}"
+                    )
+                self._handle_reply(worker, reply)
+
+    def _handle_reply(self, worker: _ShardWorker, reply: Tuple) -> None:
+        kind = reply[0]
+        if kind == "events":
+            worker.outstanding -= 1
+            self._deliver(reply[1])
+        elif kind == "ok":
+            worker.outstanding -= 1
+        else:  # pragma: no cover - protocol bug guard
+            raise BackendError(
+                f"unexpected reply {kind!r} from shard {worker.index}"
+            )
+
+    def _deliver(self, event_payloads: List[Dict[str, Any]]) -> None:
+        """Forward one shard's event batch, re-sequenced into the merged
+        stream.  Per-shard order is preserved exactly; cross-shard order
+        follows batch arrival.  ``observations_ingested`` counters inside
+        the events are shard-local by construction."""
+        if not event_payloads or not self.context.subscribers:
+            return
+        for payload in event_payloads:
+            self._sequence += 1
+            event = replace(
+                VerdictEvent.from_dict(payload), sequence=self._sequence
+            )
+            for subscriber in self.context.subscribers:
+                subscriber(event)
+
+    # -- worker-reply collection -------------------------------------------
+
+    def _collect(self, request: Tuple, reply_tag: str) -> List[Dict[str, Any]]:
+        """Ship one request to every worker and gather the tagged
+        replies, servicing interleaved event batches on the way."""
+        workers = self._ensure_workers()
+        self._flush_all()
+        for worker in workers:
+            worker.send(request)
+        payloads: List[Dict[str, Any]] = []
+        for worker in workers:
+            while True:
+                reply = worker.next_reply()
+                if reply[0] == reply_tag:
+                    payloads.append(reply[1])
+                    break
+                self._handle_reply(worker, reply)
+        return payloads
+
+    def _merge_counters(
+        self, payloads: List[Dict[str, Any]]
+    ) -> Tuple[StreamStats, Dict[int, int], List[Dict[str, Any]]]:
+        """Fold worker stats/confirmed/identifications into the globals.
+
+        The parent counted measurements/observations once, globally, so
+        worker tallies for those are shard-local double bookkeeping and
+        get overwritten.  Baseline identifications whose censor has lost
+        every confirming window since the restore (late reopen,
+        re-closed without it) are dropped — the same log pruning the
+        inline engine's ``_reopen`` performs.
+        """
+        merged_stats = StreamStats(**self._baseline_stats) if (
+            self._baseline_stats
+        ) else StreamStats()
+        merged_confirmed: Dict[int, int] = {}
+        identification_payloads = list(self._baseline_identifications)
+        for payload in payloads:
+            for name, value in payload["stats"].items():
+                setattr(
+                    merged_stats, name, getattr(merged_stats, name) + value
+                )
+            for asn, count in payload["confirmed"].items():
+                merged_confirmed[int(asn)] = (
+                    merged_confirmed.get(int(asn), 0) + count
+                )
+            identification_payloads.extend(payload["identifications"])
+        merged_stats.measurements = self._stats.measurements
+        merged_stats.observations = self._stats.observations
+        merged_stats.discarded_measurements = (
+            self._stats.discarded_measurements
+        )
+        identification_payloads = [
+            entry
+            for entry in identification_payloads
+            if merged_confirmed.get(entry["asn"], 0) > 0
+        ]
+        return merged_stats, merged_confirmed, identification_payloads
+
+    # -- draining ----------------------------------------------------------
+
+    def drain(self) -> PipelineResult:
+        if self._drained is not None:
+            return self._drained
+        payloads = self._collect(("drain",), "drain")
+        solutions_by_key: Dict[Tuple, Optional[Dict[str, Any]]] = {}
+        for payload in payloads:
+            self._deliver(payload["events"])
+            for key_payload, solution_payload in payload["problems"]:
+                key = problem_key_from_dict(key_payload)
+                solutions_by_key[_key_id(key)] = solution_payload
+        merged_stats, _, identification_payloads = self._merge_counters(
+            payloads
+        )
+        self._merged_stats = merged_stats
+        self._merged_identifications = _merge_identifications(
+            identification_payloads
+        )
+        # Merge in the parent's global creation order — the exact order
+        # the batch splitter would have produced, which downstream
+        # consumers (reduction fractions) are contractually tied to.
+        solutions = []
+        groups: Dict[ProblemKey, List[Observation]] = {}
+        for bucket in self._tracker.order:
+            key = self._tracker.keys[bucket]
+            key_id = _key_id(key)
+            if key_id not in solutions_by_key:
+                raise BackendError(f"no shard reported problem {key}")
+            solution_payload = solutions_by_key[key_id]
+            if solution_payload is not None:
+                solutions.append(solution_from_dict(solution_payload))
+            groups[key] = self._tracker.groups[bucket]
+        self._drained = assemble_result(
+            solutions, groups, self._discard, self.context.country_by_asn
+        )
+        self.close()
+        return self._drained
+
+    def run_dataset(
+        self,
+        dataset: Dataset,
+        without_churn: bool = False,
+        timer: Optional[StageTimer] = None,
+    ) -> PipelineResult:
+        """Batch workload: convert once up front, route, drain."""
+        if (
+            self._tracker.order
+            or self._restore_state is not None
+            or self._watermark is not None
+        ):
+            raise RuntimeError(
+                "run_dataset() needs a fresh backend; this one already "
+                "holds ingested or restored state — keep using the "
+                "incremental surface and drain()"
+            )
+        with maybe_stage(timer, "pipeline.observations"):
+            observations, stats = build_observations(
+                dataset, self.context.ip2as, anomalies=self._anomalies
+            )
+        self.merge_discard_stats(stats)
+        if without_churn:
+            observations = first_path_only(observations)
+        with maybe_stage(timer, "pipeline.sharded"):
+            for observation in observations:
+                self._ingest(observation, count_measurement=True)
+            return self.drain()
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state(self) -> Dict[str, Any]:
+        """Merge per-shard engine states into one backend-agnostic dict.
+
+        Problems come back in the parent's global creation order; the
+        watermark is the global one (for an in-order stream every shard's
+        future is at or past it).  Worker counters merge additively on
+        top of any restored baseline; drain bytes never depend on them.
+        """
+        if self._drained is not None:
+            raise RuntimeError(
+                "backend already drained; checkpoint before drain()"
+            )
+        payloads = self._collect(("state",), "state")
+        problems_by_key: Dict[Tuple, Dict[str, Any]] = {}
+        max_sequence = 0
+        for shard_state in payloads:
+            for entry in shard_state["problems"]:
+                key = problem_key_from_dict(entry["key"])
+                problems_by_key[_key_id(key)] = entry
+            max_sequence = max(max_sequence, shard_state["sequence"])
+        merged_stats, merged_confirmed, identification_payloads = (
+            self._merge_counters(payloads)
+        )
+        problems = []
+        for bucket in self._tracker.order:
+            key_id = _key_id(self._tracker.keys[bucket])
+            if key_id not in problems_by_key:
+                raise BackendError(
+                    f"no shard reported problem "
+                    f"{self._tracker.keys[bucket]}"
+                )
+            problems.append(problems_by_key[key_id])
+        identifications = _sort_identification_payloads(
+            identification_payloads
+        )
+        return {
+            "format": STATE_FORMAT,
+            "watermark": self._watermark,
+            "sequence": max(self._sequence, max_sequence),
+            "last_measurement_id": self._last_measurement_id,
+            "stats": merged_stats.as_dict(),
+            "discard": discard_to_dict(self._discard),
+            "confirmed": {
+                str(asn): count
+                for asn, count in sorted(merged_confirmed.items())
+            },
+            "identifications": identifications,
+            "problems": problems,
+        }
+
+    def restore(self, state: Dict[str, Any]) -> None:
+        if state.get("format") != STATE_FORMAT:
+            raise ValueError(
+                f"unsupported engine-state format {state.get('format')!r}"
+            )
+        if self._workers is not None or self._tracker.order:
+            raise RuntimeError("restore() must precede any ingestion")
+        for entry in state["problems"]:
+            key = problem_key_from_dict(entry["key"])
+            self._tracker.register(
+                key,
+                [
+                    observation_from_dict(payload)
+                    for payload in entry["observations"]
+                ],
+            )
+        self._watermark = state["watermark"]
+        self._sequence = state["sequence"]
+        self._last_measurement_id = state["last_measurement_id"]
+        stats = dict(state["stats"])
+        self._stats.measurements = stats.get("measurements", 0)
+        self._stats.observations = stats.get("observations", 0)
+        self._stats.discarded_measurements = stats.get(
+            "discarded_measurements", 0
+        )
+        # The merged problem/solve counters cannot be un-merged into
+        # shard engines; they ride along as a parent-side baseline and
+        # the restored workers start their own counters at zero.
+        for name in ("measurements", "observations",
+                     "discarded_measurements"):
+            stats[name] = 0
+        self._baseline_stats = stats
+        self._baseline_identifications = list(state["identifications"])
+        self._discard = discard_from_dict(state["discard"])
+        self._restore_state = state
+
+    def _send_restore(self, state: Dict[str, Any]) -> None:
+        """Partition the merged state by shard key and ship each slice.
+
+        Each worker's confirmed-censor counts are re-derived from the
+        closed windows in its slice (a closed window confirms exactly
+        its solution's censors, unsatisfiable windows none) — the same
+        invariant the live engine maintains incrementally — so late
+        reopens after a restore decrement real counts, and the per-shard
+        sums reported at drain/state stay exact without a parent-side
+        baseline.
+        """
+        assert self._workers is not None
+        slices: List[List[Dict[str, Any]]] = [
+            [] for _ in range(self.shards)
+        ]
+        for entry in state["problems"]:
+            shard = shard_of(
+                entry["key"]["url"], entry["key"]["anomaly"], self.shards
+            )
+            slices[shard].append(entry)
+        zero_stats = StreamStats().as_dict()
+        for worker, problems in zip(self._workers, slices):
+            worker.send(
+                (
+                    "restore",
+                    {
+                        "format": STATE_FORMAT,
+                        "watermark": state["watermark"],
+                        "sequence": 0,
+                        "last_measurement_id": None,
+                        "stats": dict(zero_stats),
+                        "discard": {
+                            "total": 0,
+                            "converted": 0,
+                            "discarded_by_reason": {},
+                        },
+                        "confirmed": _confirmed_from_problems(problems),
+                        "identifications": [],
+                        "problems": problems,
+                    },
+                )
+            )
+            worker.outstanding += 1
+        for worker in self._workers:
+            while worker.outstanding > 0:
+                self._handle_reply(worker, worker.next_reply())
+
+    # -- reporting ---------------------------------------------------------
+
+    @property
+    def stats(self) -> StreamStats:
+        """Merged counters: exact after drain, parent-side before."""
+        if self._merged_stats is not None:
+            return self._merged_stats
+        return self._stats
+
+    @property
+    def identifications(self) -> List:
+        """Confirmed-censor log, merged across shards at drain.
+
+        Ordered and deduplicated on simulated time (globally
+        comparable); each entry's ``observations_ingested`` /
+        ``measurements_ingested`` counters remain the confirming
+        *shard's* tallies, like the event counters.
+        """
+        return self._merged_identifications
+
+
+def _confirmed_from_problems(
+    problems: List[Dict[str, Any]],
+) -> Dict[str, int]:
+    """Confirmed-censor counts implied by a slice's closed windows.
+
+    Mirrors ``engine._confirmed_censors_of``: a satisfiable closed
+    window confirms exactly its solution's censors; unsatisfiable
+    windows confirm none.
+    """
+    confirmed: Dict[int, int] = {}
+    unsat = SolutionStatus.UNSATISFIABLE.value
+    for entry in problems:
+        solution = entry.get("solution")
+        if not entry.get("closed") or solution is None:
+            continue
+        if solution["status"] == unsat:
+            continue
+        for asn in solution["censors"]:
+            confirmed[asn] = confirmed.get(asn, 0) + 1
+    return {str(asn): count for asn, count in sorted(confirmed.items())}
+
+
+def _sort_identification_payloads(
+    payloads: List[Dict[str, Any]],
+) -> List[Dict[str, Any]]:
+    """Merge identification logs on the only globally comparable clock.
+
+    ``timestamp`` is simulated time — identical meaning in every shard
+    and in a restored checkpoint's baseline — whereas the ingest
+    counters inside each entry are shard-local tallies (documented as
+    such).  Sorting and re-sequencing by (timestamp, asn) keeps the
+    merged log deterministic across shard counts and restarts.
+    """
+    ordered = sorted(
+        payloads,
+        key=lambda entry: (entry["timestamp"], entry["asn"]),
+    )
+    return [
+        dict(entry, sequence=index + 1)
+        for index, entry in enumerate(ordered)
+    ]
+
+
+def _merge_identifications(payloads: List[Dict[str, Any]]) -> List:
+    merged = []
+    seen = set()
+    for entry in _sort_identification_payloads(payloads):
+        if entry["asn"] in seen:
+            continue  # another shard confirmed later; keep the earliest
+        seen.add(entry["asn"])
+        merged.append(identification_from_dict(entry))
+    return merged
+
+
+def backend_for(context: BackendContext) -> ExecutionBackend:
+    """Instantiate the backend the context's execution policy names."""
+    name = context.config.execution.backend
+    if name == "inline":
+        return InlineBackend(context)
+    if name == "sharded":
+        return ShardedBackend(context)
+    raise ValueError(f"unknown backend {name!r}")
+
+
+__all__ = [
+    "BackendContext",
+    "BackendError",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ShardedBackend",
+    "backend_for",
+    "shard_of",
+]

@@ -1,0 +1,467 @@
+"""The one façade over batch, streaming, replay, and sweep workloads.
+
+A :class:`LocalizationSession` is "measurements in, censor verdicts out"
+as one object: configure it with a single
+:class:`~repro.api.config.SessionConfig`, pick a workload —
+
+- :meth:`run` — one-shot batch over a fresh campaign,
+- :meth:`stream` — live ingest from the platform's drip feed,
+- :meth:`replay` — a stored dataset, optionally with the no-churn
+  ablation,
+- :meth:`replay_stored` — a sweep job rebuilt from a result store, with
+  verification against the stored record,
+- :meth:`sweep` — a whole job grid through the parallel runner —
+
+or drive the incremental surface (:meth:`ingest_measurement` /
+:meth:`advance` / :meth:`drain`) yourself.  All of them drain through the
+session's pluggable :class:`~repro.api.backends.ExecutionBackend`; every
+backend is byte-identical to ``LocalizationPipeline.run`` on drain.
+
+Sessions checkpoint: :meth:`checkpoint` snapshots the engine state plus
+the config to one file, and :meth:`restore` resumes a consumer
+mid-campaign — under the same backend or a different one.
+
+Quickstart::
+
+    from repro.api import LocalizationSession
+
+    session = LocalizationSession.from_preset("tiny", seed=0)
+    session.subscribe(lambda event: print(event.describe()))
+    outcome = session.stream()          # verdicts fire live
+    print(outcome.result.identified_censor_asns)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import os
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.core.observations import (
+    Observation,
+    build_observations,
+    first_path_only,
+)
+from repro.core.pipeline import PipelineResult
+from repro.iclab.dataset import Dataset
+from repro.iclab.measurement import Measurement
+from repro.runner.spec import JobSpec, SweepSpec
+from repro.scenario.world import World, build_world
+from repro.stream.events import Subscriber
+from repro.stream.state import StreamStats
+from repro.util.profiling import StageTimer
+
+from repro.api.backends import (
+    BackendContext,
+    ExecutionBackend,
+    backend_for,
+)
+from repro.api.checkpoint import read_checkpoint, write_checkpoint
+from repro.api.config import ExecutionPolicy, SessionConfig
+
+
+@dataclass
+class SessionOutcome:
+    """One completed workload with every artifact still live."""
+
+    config: SessionConfig
+    world: World
+    dataset: Dataset
+    result: PipelineResult
+    perf: Optional[Dict[str, Any]] = None
+
+
+@dataclass
+class StoredReplayOutcome:
+    """A stored-job replay and how it compared to the stored record."""
+
+    job: JobSpec
+    world: World
+    result: PipelineResult
+    verified: Optional[bool] = None   # None: no stored result to compare
+    mismatches: Sequence[str] = ()
+
+
+class LocalizationSession:
+    """One localization workload, any shape, behind one config."""
+
+    def __init__(
+        self,
+        config: Optional[SessionConfig] = None,
+        world: Optional[World] = None,
+        ip2as=None,
+        country_by_asn: Optional[Dict[int, str]] = None,
+    ) -> None:
+        self.config = config if config is not None else SessionConfig()
+        self._world = world
+        self._ip2as = ip2as
+        self._country_by_asn = country_by_asn
+        self._subscribers: List[Subscriber] = []
+        self._backend: Optional[ExecutionBackend] = None
+        self._pending_state: Optional[Dict[str, Any]] = None
+        # A world bound without an explicit config leaves self.config a
+        # default that does NOT describe the world; fine for in-process
+        # use, but a checkpoint written from it would restore the wrong
+        # world — checkpoint() refuses in that case.
+        self._config_describes_world = config is not None or world is None
+
+    # -- construction conveniences ----------------------------------------
+
+    @classmethod
+    def from_preset(
+        cls, preset: str, seed: int = 0, **overrides
+    ) -> "LocalizationSession":
+        """A session over a named scenario preset.
+
+        Keyword overrides set any :class:`SessionConfig` field; pass
+        ``execution=ExecutionPolicy(backend="sharded", shards=4)`` to
+        pick a backend.
+        """
+        return cls(SessionConfig(preset=preset, seed=seed, **overrides))
+
+    @classmethod
+    def for_world(
+        cls, world: World, config: Optional[SessionConfig] = None
+    ) -> "LocalizationSession":
+        """Bind a session to an already-built world (skips the rebuild).
+
+        Pass a ``config`` that describes the world when you intend to
+        :meth:`checkpoint` — the checkpointed config is what regenerates
+        the world (and its IP-to-AS database) at restore time, and a
+        defaulted config could not.
+        """
+        return cls(config, world=world)
+
+    # -- lazily bound substrate -------------------------------------------
+
+    @property
+    def world(self) -> World:
+        """The session's world, built deterministically on first use."""
+        if self._world is None:
+            self._world = build_world(self.config.scenario_config())
+        return self._world
+
+    @property
+    def ip2as(self):
+        return self._ip2as if self._ip2as is not None else self.world.ip2as
+
+    @property
+    def country_by_asn(self) -> Dict[int, str]:
+        if self._country_by_asn is not None:
+            return self._country_by_asn
+        return self.world.country_by_asn
+
+    @property
+    def backend(self) -> ExecutionBackend:
+        """The execution backend, created on first use.
+
+        Creation is deferred so :meth:`subscribe` and :meth:`restore`
+        can run first — backends bind their event plumbing (and, for the
+        sharded backend, fork their workers) at creation time.
+        """
+        if self._backend is None:
+            self._backend = backend_for(
+                BackendContext(
+                    config=self.config,
+                    ip2as=self.ip2as,
+                    country_by_asn=self.country_by_asn,
+                    subscribers=self._subscribers,
+                )
+            )
+            if self._pending_state is not None:
+                self._backend.restore(self._pending_state)
+                self._pending_state = None
+        return self._backend
+
+    # -- events ------------------------------------------------------------
+
+    def subscribe(self, subscriber: Subscriber) -> None:
+        """Register a callback for every verdict-delta event.
+
+        Subscribe before the first workload/ingestion: backends decide at
+        creation time whether per-event verdicts are computed at all (and
+        whether shard workers ship them back).
+        """
+        if self._backend is not None and not self._subscribers:
+            raise RuntimeError(
+                "subscribe() must precede backend creation — the first "
+                "workload, ingestion, or checkpoint() call on this "
+                "session already bound its event plumbing without "
+                "subscribers"
+            )
+        self._subscribers.append(subscriber)
+
+    # -- one-shot workloads ------------------------------------------------
+
+    def run(self, timer: Optional[StageTimer] = None) -> SessionOutcome:
+        """One-shot batch: build the world, run its campaign, localize.
+
+        Honors the config's churn ablation switch.  On the inline
+        backend with no subscribers this is the reference
+        ``LocalizationPipeline`` fast path (no stream stats or events);
+        with subscribers — or on the sharded backend — the same
+        observations stream through the engine(s) instead, so verdict
+        events fire and :attr:`stats`/:attr:`identifications` populate.
+        Byte-identical result every way.
+        """
+        if timer is None:
+            timer = StageTimer()
+        started = time.perf_counter()
+        with timer.stage("world.build"):
+            world = self.world
+        world.oracle.timer = timer
+        world.platform.timer = timer
+        with timer.stage("campaign"):
+            dataset = world.run_campaign()
+        with timer.stage("pipeline"):
+            result = self.backend.run_dataset(
+                dataset,
+                without_churn=self.config.without_churn,
+                timer=timer,
+            )
+        timer.add("job.total", time.perf_counter() - started)
+        for name, value in world.oracle.routes.stats.as_dict().items():
+            timer.count(f"routing.{name}", value)
+        return SessionOutcome(
+            config=self.config,
+            world=world,
+            dataset=dataset,
+            result=result,
+            perf=timer.snapshot(),
+        )
+
+    def stream(self, progress_every: int = 0) -> SessionOutcome:
+        """Live ingest: run the campaign while drip-feeding the backend.
+
+        Every measurement flows into the backend the moment the platform
+        produces it; subscribers see verdicts tighten in real time.  The
+        no-churn ablation is replay-only (its path filter needs the whole
+        dataset up front) — use :meth:`replay` for it.
+        """
+        if self.config.without_churn:
+            raise ValueError(
+                "the no-churn ablation is replay-only; use replay()"
+            )
+        world = self.world
+        backend = self.backend
+        world.platform.add_listener(backend.ingest_measurement)
+        try:
+            dataset = world.platform.run_campaign(
+                progress_every=progress_every
+            )
+        finally:
+            world.platform.remove_listener(backend.ingest_measurement)
+        result = self.drain()
+        return SessionOutcome(
+            config=self.config, world=world, dataset=dataset, result=result
+        )
+
+    def replay(
+        self, dataset: Dataset, without_churn: Optional[bool] = None
+    ) -> PipelineResult:
+        """Replay a stored dataset in recorded order and drain.
+
+        ``without_churn`` defaults to the config's churn switch; when set,
+        the Figure-4 first-distinct-path filter applies before ingestion
+        — the exact sequence ``LocalizationPipeline.run_without_churn``
+        solves.
+        """
+        ablate = (
+            self.config.without_churn
+            if without_churn is None
+            else without_churn
+        )
+        backend = self.backend
+        if ablate:
+            observations, stats = build_observations(
+                dataset,
+                self.ip2as,
+                anomalies=self.config.pipeline_config().anomalies,
+            )
+            backend.merge_discard_stats(stats)
+            for observation in first_path_only(observations):
+                backend.ingest_observation(observation)
+        else:
+            for measurement in dataset:
+                backend.ingest_measurement(measurement)
+        return self.drain()
+
+    def replay_stored(
+        self,
+        store,
+        job: Optional[JobSpec] = None,
+        progress_every: int = 0,
+    ):
+        """Rebuild a stored job's campaign, stream it, verify the drain.
+
+        The scenario regenerates deterministically from the job spec;
+        when the store holds the job's result sidecar, the drained result
+        is checked against the stored per-problem statuses and censors.
+        """
+        from repro.stream.sources import compare_with_stored
+
+        if job is None:
+            job = self.config.job_spec()
+        world = self.world
+        if job.without_churn:
+            dataset = world.run_campaign(progress_every=progress_every)
+            result = self.replay(dataset, without_churn=True)
+        else:
+            result = self.stream(progress_every=progress_every).result
+        stored = store.get_result(job.job_id)
+        if stored is None:
+            return StoredReplayOutcome(job=job, world=world, result=result)
+        mismatches = compare_with_stored(result, stored)
+        return StoredReplayOutcome(
+            job=job,
+            world=world,
+            result=result,
+            verified=not mismatches,
+            mismatches=tuple(mismatches),
+        )
+
+    def sweep(
+        self,
+        spec: Optional[SweepSpec] = None,
+        jobs: Optional[Sequence[JobSpec]] = None,
+        store=None,
+        workers: Optional[int] = None,
+        timeout: Optional[float] = None,
+        progress=None,
+    ):
+        """Run a job grid through the parallel sweep runner.
+
+        Worker count and per-job timeout default to the session's
+        execution policy.  Returns the runner's
+        :class:`~repro.runner.executor.SweepReport`.
+        """
+        # Deferred: the executor imports this module for run_job.
+        from repro.runner.executor import run_sweep
+
+        if jobs is None:
+            if spec is None:
+                raise ValueError("sweep() needs a spec or a job list")
+            jobs = spec.expand()
+        return run_sweep(
+            jobs,
+            store=store,
+            workers=(
+                workers
+                if workers is not None
+                else self.config.execution.workers
+            ),
+            timeout=(
+                timeout
+                if timeout is not None
+                else self.config.execution.timeout
+            ),
+            progress=progress,
+        )
+
+    # -- incremental surface -----------------------------------------------
+
+    def ingest_measurement(self, measurement: Measurement) -> None:
+        """Convert one measurement and ingest its observations."""
+        self.backend.ingest_measurement(measurement)
+
+    def ingest_observation(self, observation: Observation) -> None:
+        """Ingest one pre-converted observation."""
+        self.backend.ingest_observation(observation)
+
+    def advance(self, timestamp: int) -> None:
+        """Push the stream watermark forward without an observation."""
+        self.backend.advance(timestamp)
+
+    def drain(self) -> PipelineResult:
+        """Close every window and assemble the final result."""
+        return self.backend.drain()
+
+    # -- checkpointing -----------------------------------------------------
+
+    def checkpoint(self, path: os.PathLike) -> os.PathLike:
+        """Snapshot config + engine state to ``path`` (atomic write).
+
+        The session stays live — checkpointing is a read — so periodic
+        checkpoints during a long campaign are one call in the ingest
+        loop.
+        """
+        if not self._config_describes_world:
+            raise ValueError(
+                "this session was bound to an existing world without a "
+                "SessionConfig; restore() would rebuild a different "
+                "world from the default config — pass the world's "
+                "config to for_world()/world.session() before "
+                "checkpointing"
+            )
+        return write_checkpoint(
+            path, self.config.to_dict(), self.backend.state()
+        )
+
+    @classmethod
+    def restore(
+        cls,
+        path: os.PathLike,
+        execution: Optional[ExecutionPolicy] = None,
+        world: Optional[World] = None,
+    ) -> "LocalizationSession":
+        """Resume a checkpointed session mid-campaign.
+
+        The world rebuilds deterministically from the checkpointed
+        config (pass ``world`` to skip the rebuild when you already have
+        it).  ``execution`` overrides the checkpointed policy — restoring
+        an inline checkpoint under the sharded backend (or vice versa, or
+        under a different shard count) is supported because the state
+        format is backend-agnostic.
+        """
+        document = read_checkpoint(path)
+        config = SessionConfig.from_dict(document["config"])
+        if execution is not None:
+            config = dataclasses.replace(config, execution=execution)
+        session = cls(config, world=world)
+        session._pending_state = document["engine"]
+        return session
+
+    # -- lifecycle / reporting ---------------------------------------------
+
+    def close(self) -> None:
+        """Release backend resources (sharded worker processes)."""
+        if self._backend is not None:
+            self._backend.close()
+
+    def __enter__(self) -> "LocalizationSession":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    @property
+    def stats(self) -> StreamStats:
+        """Stream counters (merged across shards after a sharded drain)."""
+        if self._backend is None:
+            return StreamStats()
+        return self._backend.stats
+
+    @property
+    def identifications(self) -> List:
+        """Confirmed-censor log — feed to ``TimeToLocalization``.
+
+        Duck-compatible with the engine (``identifications`` + ``stats``)
+        so ``TimeToLocalization.from_engine(session)`` works unchanged.
+        """
+        if self._backend is None:
+            return []
+        return self._backend.identifications
+
+    @property
+    def solve_stats(self):
+        """Inline engine's solve-cache counters; None on sharded."""
+        return getattr(self._backend, "solve_stats", None)
+
+
+__all__ = [
+    "LocalizationSession",
+    "SessionOutcome",
+    "StoredReplayOutcome",
+]

@@ -71,6 +71,15 @@ class DiscardStats:
             self.discarded_by_reason.get(reason, 0) + 1
         )
 
+    def merge(self, other: "DiscardStats") -> None:
+        """Fold another tally into this one (in place)."""
+        self.total += other.total
+        self.converted += other.converted
+        for reason, count in other.discarded_by_reason.items():
+            self.discarded_by_reason[reason] = (
+                self.discarded_by_reason.get(reason, 0) + count
+            )
+
 
 def observations_of(
     measurement: Measurement,

@@ -302,6 +302,17 @@ def _observation_to_dict(observation: Observation) -> Dict[str, Any]:
     }
 
 
+def _observation_from_dict(payload: Dict[str, Any]) -> Observation:
+    return Observation(
+        url=payload["url"],
+        anomaly=Anomaly(payload["anomaly"]),
+        detected=payload["detected"],
+        as_path=tuple(payload["as_path"]),
+        timestamp=payload["timestamp"],
+        measurement_id=payload["measurement_id"],
+    )
+
+
 def _solution_to_dict(solution: ProblemSolution) -> Dict[str, Any]:
     return {
         "key": _problem_key_to_dict(solution.key),
@@ -450,9 +461,27 @@ def assemble_result(
     )
 
 
+# Public names for the piecewise serializers: the checkpoint format
+# (repro.stream.checkpoint) and the sharded-backend worker protocol
+# (repro.api.backends) ship these fragments between processes, and must
+# stay byte-compatible with PipelineResult.to_dict's own encoding.
+solution_to_dict = _solution_to_dict
+solution_from_dict = _solution_from_dict
+problem_key_to_dict = _problem_key_to_dict
+problem_key_from_dict = _problem_key_from_dict
+observation_to_dict = _observation_to_dict
+observation_from_dict = _observation_from_dict
+
+
 __all__ = [
     "PipelineConfig",
     "PipelineResult",
     "LocalizationPipeline",
     "assemble_result",
+    "solution_to_dict",
+    "solution_from_dict",
+    "problem_key_to_dict",
+    "problem_key_from_dict",
+    "observation_to_dict",
+    "observation_from_dict",
 ]

@@ -189,6 +189,19 @@ def _build_parser() -> argparse.ArgumentParser:
             "each drained stream against its stored batch record"
         ),
     )
+    stream.add_argument(
+        "--backend",
+        default="inline",
+        choices=("inline", "sharded"),
+        help="execution backend (default: inline)",
+    )
+    stream.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes for --backend sharded (default: 2)",
+    )
     stream.add_argument("--events", type=int, default=10, metavar="N")
     stream.add_argument("--verify", action="store_true")
     stream.add_argument("--json", action="store_true")
@@ -490,6 +503,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             args.replay,
             event_limit=args.events,
             json_mode=args.json,
+            backend=args.backend,
+            shards=args.shards,
         )
     job = JobSpec(
         preset=args.preset,
@@ -503,6 +518,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         event_limit=args.events,
         verify=args.verify,
         json_mode=args.json,
+        backend=args.backend,
+        shards=args.shards,
     )
 
 

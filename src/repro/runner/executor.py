@@ -52,7 +52,7 @@ from repro.runner.results import (
 )
 from repro.runner.spec import JobSpec
 from repro.runner.store import SCHEMA_VERSION, ResultStore
-from repro.scenario.world import World, build_world
+from repro.scenario.world import World
 from repro.util.profiling import StageTimer
 
 ProgressFn = Callable[[str], None]
@@ -123,36 +123,30 @@ def _build_record(
 def run_job(job: JobSpec, timer: Optional[StageTimer] = None) -> JobOutcome:
     """Execute one job end-to-end in this process.
 
+    Re-expressed on the :mod:`repro.api` façade: the job spec becomes a
+    :class:`~repro.api.config.SessionConfig` and a
+    :class:`~repro.api.session.LocalizationSession` runs the batch
+    workload over the inline backend — the same world-build → campaign →
+    pipeline chain (and the same stage timings) this function always
+    wired, producing byte-identical records.
+
     A :class:`StageTimer` is threaded through the world's platform, path
     oracle, and the pipeline; pass your own to aggregate across jobs, or
     read the default one back from ``outcome.perf``.
     """
-    if timer is None:
-        timer = StageTimer()
-    started = time.perf_counter()
-    with timer.stage("world.build"):
-        world = build_world(job.scenario_config())
-    world.oracle.timer = timer
-    world.platform.timer = timer
-    with timer.stage("campaign"):
-        dataset = world.run_campaign()
-    pipeline = world.pipeline(job.pipeline_config())
-    pipeline.timer = timer
-    with timer.stage("pipeline"):
-        if job.without_churn:
-            result = pipeline.run_without_churn(dataset)
-        else:
-            result = pipeline.run(dataset)
-    timer.add("job.total", time.perf_counter() - started)
-    route_stats = world.oracle.routes.stats
-    for name, value in route_stats.as_dict().items():
-        timer.count(f"routing.{name}", value)
+    # Deferred import: repro.api.session imports repro.runner.spec, and
+    # this module loads during the repro.runner package init.
+    from repro.api.config import SessionConfig
+    from repro.api.session import LocalizationSession
+
+    session = LocalizationSession(SessionConfig.from_job(job))
+    outcome = session.run(timer=timer)
     return JobOutcome(
         job=job,
-        world=world,
-        dataset=dataset,
-        result=result,
-        perf=timer.snapshot(),
+        world=outcome.world,
+        dataset=outcome.dataset,
+        result=outcome.result,
+        perf=outcome.perf,
     )
 
 

@@ -28,11 +28,11 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 from pathlib import Path
 from typing import Any, Dict, Iterable, Iterator, List, Optional
 
 from repro.runner.spec import JobSpec, SWEEP_NAME_PATTERN, SweepSpec
+from repro.util.fsio import atomic_write_bytes
 
 # Schema 2: the serialized result moved to a sidecar file.  Schema-1
 # records (result embedded) read as misses and re-run on resume.
@@ -47,20 +47,9 @@ def encode_record(record: Dict[str, Any]) -> bytes:
     return (json.dumps(record, sort_keys=True, indent=1) + "\n").encode("utf-8")
 
 
-def _atomic_write(path: Path, data: bytes) -> None:
-    handle, tmp_path = tempfile.mkstemp(
-        dir=str(path.parent), prefix=path.name, suffix=".tmp"
-    )
-    try:
-        with os.fdopen(handle, "wb") as tmp:
-            tmp.write(data)
-        os.replace(tmp_path, path)
-    except BaseException:
-        try:
-            os.unlink(tmp_path)
-        except OSError:
-            pass
-        raise
+# Records and sidecars land atomically; the primitive lives in
+# repro.util.fsio (shared with the session checkpoint files).
+_atomic_write = atomic_write_bytes
 
 
 def _read_json(path: Path) -> Optional[Dict[str, Any]]:

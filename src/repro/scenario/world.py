@@ -57,6 +57,18 @@ class World:
             config=config,
         )
 
+    def session(self, config=None):
+        """A :class:`repro.api.LocalizationSession` bound to this world.
+
+        The recommended entry point for running workloads against an
+        already-built world: one config object, any workload, pluggable
+        execution backend (see :mod:`repro.api`).
+        """
+        # Deferred import: repro.api builds worlds through this module.
+        from repro.api.session import LocalizationSession
+
+        return LocalizationSession.for_world(self, config)
+
 
 def build_world(config: ScenarioConfig) -> World:
     """Deterministically construct every subsystem from one config."""

@@ -1,0 +1,211 @@
+"""Serializing and restoring a :class:`StreamingLocalizer` mid-campaign.
+
+The engine's drain-relevant state is exactly its per-problem data — each
+(URL, anomaly, window) problem's observation sequence (from which the
+clause ledger and the unit-propagation closure are deterministic
+replays), the creation order, which windows have closed and with what
+final solution — plus the stream watermark and the bookkeeping counters.
+:func:`engine_state` captures all of it as one JSON-compatible dict;
+:func:`restore_engine` rebuilds a live engine from it by replaying each
+problem's observations through a fresh :class:`ProblemState` (the ledgers
+and propagation closures come back bit-for-bit because both are pure
+folds over the observation sequence).
+
+The guarantee the property tests pin: for an in-order stream,
+
+    ingest k events → engine_state → restore_engine → ingest the rest
+
+drains to a :class:`PipelineResult` byte-identical to the uninterrupted
+run.  The solve cache and conversion memos are deliberately *not*
+serialized — they are perf memos whose absence changes wall time, never
+bytes.  ``last_solution`` snapshots are not serialized either: the first
+post-restore verdict event for a problem reports ``previous_status``
+as ``None``, but event payloads never feed the drained result.
+
+For out-of-order streams one caveat applies: the close order of two
+still-open windows sharing an end timestamp is creation order after a
+restore, whereas a window reopened by a late observation before the
+checkpoint would have closed *after* its same-end peers.  Close order
+affects event emission order only — never the drained bytes.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Dict, List, Optional
+
+from repro.core.aspath import InconclusiveReason
+from repro.core.observations import DiscardStats
+from repro.core.pipeline import (
+    PipelineConfig,
+    observation_from_dict,
+    observation_to_dict,
+    problem_key_from_dict,
+    problem_key_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+)
+from repro.stream.engine import CensorIdentification, StreamingLocalizer
+from repro.stream.state import ProblemState, StreamStats
+from repro.topology.ip2as import IpToAsDatabase
+
+STATE_FORMAT = 1
+
+
+def discard_to_dict(discard: DiscardStats) -> Dict[str, Any]:
+    """One :class:`DiscardStats` as JSON (reason keys sorted)."""
+    return {
+        "total": discard.total,
+        "converted": discard.converted,
+        "discarded_by_reason": {
+            reason.value: count
+            for reason, count in sorted(
+                discard.discarded_by_reason.items(),
+                key=lambda item: item[0].value,
+            )
+        },
+    }
+
+
+def discard_from_dict(payload: Dict[str, Any]) -> DiscardStats:
+    return DiscardStats(
+        total=payload["total"],
+        converted=payload["converted"],
+        discarded_by_reason={
+            InconclusiveReason(reason): count
+            for reason, count in payload["discarded_by_reason"].items()
+        },
+    )
+
+
+def identification_to_dict(
+    identification: CensorIdentification,
+) -> Dict[str, Any]:
+    return {
+        "asn": identification.asn,
+        "key": problem_key_to_dict(identification.key),
+        "timestamp": identification.timestamp,
+        "observations_ingested": identification.observations_ingested,
+        "measurements_ingested": identification.measurements_ingested,
+        "sequence": identification.sequence,
+    }
+
+
+def identification_from_dict(payload: Dict[str, Any]) -> CensorIdentification:
+    return CensorIdentification(
+        asn=payload["asn"],
+        key=problem_key_from_dict(payload["key"]),
+        timestamp=payload["timestamp"],
+        observations_ingested=payload["observations_ingested"],
+        measurements_ingested=payload["measurements_ingested"],
+        sequence=payload["sequence"],
+    )
+
+
+def engine_state(engine: StreamingLocalizer) -> Dict[str, Any]:
+    """The engine's full resumable state as a JSON-compatible dict."""
+    problems: List[Dict[str, Any]] = []
+    for key, observations, closed, solution in engine.problem_records():
+        problems.append(
+            {
+                "key": problem_key_to_dict(key),
+                "observations": [
+                    observation_to_dict(observation)
+                    for observation in observations
+                ],
+                "closed": closed,
+                "solution": (
+                    solution_to_dict(solution)
+                    if solution is not None
+                    else None
+                ),
+            }
+        )
+    return {
+        "format": STATE_FORMAT,
+        "watermark": engine.watermark,
+        "sequence": engine._sequence,
+        "last_measurement_id": engine._last_measurement_id,
+        "stats": engine.stats.as_dict(),
+        "discard": discard_to_dict(engine._discard),
+        "confirmed": {
+            str(asn): count for asn, count in sorted(engine._confirmed.items())
+        },
+        "identifications": [
+            identification_to_dict(identification)
+            for identification in engine.identifications
+        ],
+        "problems": problems,
+    }
+
+
+def restore_engine(
+    state: Dict[str, Any],
+    ip2as: Optional[IpToAsDatabase],
+    country_by_asn: Dict[int, str],
+    config: PipelineConfig = PipelineConfig(),
+    late_policy: str = "reopen",
+) -> StreamingLocalizer:
+    """Rebuild a live engine from :func:`engine_state` output.
+
+    ``config`` and ``late_policy`` must match the checkpointed engine's —
+    they are part of the session config the checkpoint file carries, not
+    of the engine state itself.  ``ip2as`` may be None when the restored
+    engine will only ever see pre-converted observations (the sharded
+    backend's workers run this way).
+    """
+    if state.get("format") != STATE_FORMAT:
+        raise ValueError(
+            f"unsupported engine-state format {state.get('format')!r} "
+            f"(this build reads format {STATE_FORMAT})"
+        )
+    engine = StreamingLocalizer(
+        ip2as=ip2as,
+        country_by_asn=country_by_asn,
+        config=config,
+        late_policy=late_policy,
+    )
+    for entry in state["problems"]:
+        key = problem_key_from_dict(entry["key"])
+        bucket = engine._bucket_of(key)
+        problem = ProblemState(key, config.solution_cap)
+        for payload in entry["observations"]:
+            problem.add(observation_from_dict(payload))
+        engine._states[bucket] = problem
+        engine._keys[bucket] = key
+        engine._order.append(bucket)
+        if entry["closed"]:
+            engine._final[bucket] = (
+                solution_from_dict(entry["solution"])
+                if entry["solution"] is not None
+                else None
+            )
+        else:
+            heapq.heappush(
+                engine._heap, (key.window.end, engine._tie, bucket)
+            )
+        engine._tie += 1
+    engine._watermark = state["watermark"]
+    engine._sequence = state["sequence"]
+    engine._last_measurement_id = state["last_measurement_id"]
+    engine.stats = StreamStats(**state["stats"])
+    engine._discard = discard_from_dict(state["discard"])
+    engine._confirmed = {
+        int(asn): count for asn, count in state["confirmed"].items()
+    }
+    engine.identifications = [
+        identification_from_dict(entry)
+        for entry in state["identifications"]
+    ]
+    return engine
+
+
+__all__ = [
+    "STATE_FORMAT",
+    "engine_state",
+    "restore_engine",
+    "discard_to_dict",
+    "discard_from_dict",
+    "identification_to_dict",
+    "identification_from_dict",
+]

@@ -1,19 +1,21 @@
 """Command-line interface: ``python -m repro.stream``.
 
-Two modes:
+A thin shell over :class:`repro.api.LocalizationSession`.  Two modes:
 
 - **fresh** (default) — build a preset scenario, run its campaign while
-  drip-feeding the streaming engine, print verdict events as they fire,
-  then the final summary and the time-to-localization table (how many
-  measurements until each true censor was pinned);
+  drip-feeding the session's execution backend, print verdict events as
+  they fire, then the final summary and the time-to-localization table
+  (how many measurements until each true censor was pinned);
 - **replay** (``--replay NAME --store DIR``) — re-expand a persisted
   sweep's jobs from a result store, rebuild each job's world from its
   spec, stream its campaign, and verify the drained result against the
   stored batch record when its result sidecar is present.
 
-``--verify`` additionally runs the batch pipeline over the same campaign
-and checks byte equality; ``--json`` switches all output to one
-machine-readable document.
+``--backend sharded --shards N`` runs the same workload partitioned
+across N worker processes (drain stays byte-identical); ``--verify``
+additionally runs the batch pipeline over the same campaign and checks
+byte equality; ``--json`` switches all output to one machine-readable
+document.
 """
 
 from __future__ import annotations
@@ -25,18 +27,19 @@ from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.localization_time import TTL_HEADERS, TimeToLocalization
 from repro.analysis.tables import format_table
+from repro.api.config import (
+    BACKENDS,
+    BACKEND_INLINE,
+    ExecutionPolicy,
+    SessionConfig,
+)
+from repro.api.session import LocalizationSession
 from repro.core.pipeline import DEFAULT_SOLUTION_CAP
 from repro.runner.spec import JobSpec
 from repro.runner.store import ResultStore
 from repro.scenario.presets import PRESETS
-from repro.scenario.world import World, build_world
-from repro.stream.engine import StreamingLocalizer
+from repro.scenario.world import World
 from repro.stream.events import VerdictEvent
-from repro.stream.sources import (
-    engine_for_world,
-    replay_stored_job,
-    stream_campaign,
-)
 
 DEFAULT_EVENT_LIMIT = 25
 
@@ -73,6 +76,19 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--duration-days", type=int, default=None)
     parser.add_argument("--num-urls", type=int, default=None)
     parser.add_argument("--num-vantage-points", type=int, default=None)
+    parser.add_argument(
+        "--backend",
+        default=BACKEND_INLINE,
+        choices=BACKENDS,
+        help="execution backend (default: inline)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=2,
+        metavar="N",
+        help="worker processes for --backend sharded (default: 2)",
+    )
     parser.add_argument(
         "--events",
         type=int,
@@ -124,6 +140,14 @@ def job_from_args(args: argparse.Namespace) -> JobSpec:
     )
 
 
+def _session_config(
+    job: JobSpec, backend: str, shards: int
+) -> SessionConfig:
+    return SessionConfig.from_job(
+        job, execution=ExecutionPolicy(backend=backend, shards=shards)
+    )
+
+
 class _EventPrinter:
     """Prints the first N events (all when limit is -1)."""
 
@@ -139,13 +163,30 @@ class _EventPrinter:
             print(f"... (further events suppressed; --events -1 for all)")
 
 
+def _subscribe_for_output(
+    session: LocalizationSession, event_limit: int, json_mode: bool
+) -> None:
+    if json_mode:
+        # Per-event verdicts are only computed for listeners; a no-op
+        # subscriber keeps the JSON's stream_stats counters meaningful.
+        session.subscribe(lambda event: None)
+    elif event_limit != 0:
+        session.subscribe(_EventPrinter(event_limit))
+
+
 def _summary_payload(
-    engine: StreamingLocalizer, world: World
+    session: LocalizationSession, world: World
 ) -> Dict[str, Any]:
-    result = engine.drain()
+    result = session.drain()
     true_censors = sorted(world.deployment.censor_asns)
-    ttl = TimeToLocalization.from_engine(engine)
+    ttl = TimeToLocalization.from_engine(session)
+    solve_stats = session.solve_stats
+    sharded = session.config.execution.backend != BACKEND_INLINE
     return {
+        "backend": session.config.execution.backend,
+        # Under sharding, per-identification ingest counters are the
+        # confirming shard's tallies, not the merged stream's.
+        "counters_scope": "shard-local" if sharded else "global",
         "problems": len(result.solutions),
         "by_status": {
             status.value: count
@@ -155,15 +196,17 @@ def _summary_payload(
         },
         "identified_censors": result.identified_censor_asns,
         "true_censors": true_censors,
-        "stream_stats": engine.stats.as_dict(),
-        "solve_stats": engine.solve_stats.as_dict(),
+        "stream_stats": session.stats.as_dict(),
+        "solve_stats": (
+            solve_stats.as_dict() if solve_stats is not None else None
+        ),
         "time_to_localization": ttl.as_dict(true_censors),
     }
 
 
-def _print_summary(engine: StreamingLocalizer, world: World) -> None:
-    result = engine.drain()
-    stats = engine.stats
+def _print_summary(session: LocalizationSession, world: World) -> None:
+    result = session.drain()
+    stats = session.stats
     by_status = result.by_status()
     print(
         f"\ndrained {stats.measurements} measurements "
@@ -188,15 +231,17 @@ def _print_summary(engine: StreamingLocalizer, world: World) -> None:
         f"censors: {len(identified)} confirmed of "
         f"{len(true_censors)} deployed"
     )
-    ttl = TimeToLocalization.from_engine(engine)
+    ttl = TimeToLocalization.from_engine(session)
     rows = ttl.rows(true_censors, world.country_by_asn)
     if rows:
+        title = "time to localization"
+        if session.config.execution.backend != BACKEND_INLINE:
+            # Merged identification log: ordering is global (simulated
+            # time), the measurement/observation tallies are the
+            # confirming shard's.
+            title += " (shard-local ingest counters)"
         print()
-        print(
-            format_table(
-                TTL_HEADERS, rows, title="time to localization"
-            )
-        )
+        print(format_table(TTL_HEADERS, rows, title=title))
 
 
 def run_fresh(
@@ -204,34 +249,32 @@ def run_fresh(
     event_limit: int = DEFAULT_EVENT_LIMIT,
     verify: bool = False,
     json_mode: bool = False,
+    backend: str = BACKEND_INLINE,
+    shards: int = 2,
 ) -> int:
     """Fresh mode: build the world, drip-stream its campaign, report."""
-    world = build_world(job.scenario_config())
-    engine = engine_for_world(world, config=job.pipeline_config())
-    if json_mode:
-        # Per-event verdicts are only computed for listeners; a no-op
-        # subscriber keeps the JSON's stream_stats counters meaningful.
-        engine.subscribe(lambda event: None)
-    elif event_limit != 0:
-        engine.subscribe(_EventPrinter(event_limit))
+    session = LocalizationSession(_session_config(job, backend, shards))
+    _subscribe_for_output(session, event_limit, json_mode)
+    world = session.world
     if not json_mode:
         print(
-            f"streaming {job.preset!r} (seed {job.seed}): "
+            f"streaming {job.preset!r} (seed {job.seed}, "
+            f"{session.config.execution.backend} backend): "
             f"{len(world.vantage_points)} vantage points, "
             f"{len(world.test_list)} URLs"
         )
-    dataset = stream_campaign(world, engine)
+    outcome = session.stream()
     verified: Optional[bool] = None
     if verify:
-        batch = world.pipeline(job.pipeline_config()).run(dataset)
-        verified = batch.to_dict() == engine.drain().to_dict()
+        batch = world.pipeline(job.pipeline_config()).run(outcome.dataset)
+        verified = batch.to_dict() == outcome.result.to_dict()
     if json_mode:
-        payload = _summary_payload(engine, world)
+        payload = _summary_payload(session, world)
         if verified is not None:
             payload["batch_equivalent"] = verified
         print(json.dumps(payload, indent=1, sort_keys=True))
     else:
-        _print_summary(engine, world)
+        _print_summary(session, world)
         if verified is not None:
             print(
                 "batch equivalence: "
@@ -245,6 +288,8 @@ def run_replay(
     name: str,
     event_limit: int = 0,
     json_mode: bool = False,
+    backend: str = BACKEND_INLINE,
+    shards: int = 2,
 ) -> int:
     """Replay mode: stream every job of a persisted sweep, verifying."""
     store = ResultStore(store_dir)
@@ -255,22 +300,19 @@ def run_replay(
     for job in jobs:
         if not json_mode:
             print(f"replaying {job.label} ...")
-        world = build_world(job.scenario_config())
-        engine = engine_for_world(world, config=job.pipeline_config())
+        session = LocalizationSession(_session_config(job, backend, shards))
+        _subscribe_for_output(session, event_limit, json_mode)
+        outcome = session.replay_stored(store, job)
+        world = outcome.world
         if json_mode:
-            engine.subscribe(lambda event: None)
-        elif event_limit != 0:
-            engine.subscribe(_EventPrinter(event_limit))
-        outcome = replay_stored_job(store, job, engine=engine, world=world)
-        if json_mode:
-            payload = _summary_payload(engine, world)
+            payload = _summary_payload(session, world)
             payload["job_id"] = job.job_id
             payload["label"] = job.label
             payload["verified"] = outcome.verified
             payload["mismatches"] = list(outcome.mismatches)
             payloads.append(payload)
         else:
-            _print_summary(engine, world)
+            _print_summary(session, world)
             if outcome.verified is None:
                 print("no stored result sidecar to verify against")
             elif outcome.verified:
@@ -301,12 +343,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 args.replay,
                 event_limit=args.events if args.events else 0,
                 json_mode=args.json,
+                backend=args.backend,
+                shards=args.shards,
             )
         return run_fresh(
             job_from_args(args),
             event_limit=args.events,
             verify=args.verify,
             json_mode=args.json,
+            backend=args.backend,
+            shards=args.shards,
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

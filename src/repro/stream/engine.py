@@ -256,12 +256,7 @@ class StreamingLocalizer:
         ingestion) record their conversion outcomes here so the drained
         result's ``discard_stats`` matches the batch pipeline's.
         """
-        self._discard.total += stats.total
-        self._discard.converted += stats.converted
-        for reason, count in stats.discarded_by_reason.items():
-            self._discard.discarded_by_reason[reason] = (
-                self._discard.discarded_by_reason.get(reason, 0) + count
-            )
+        self._discard.merge(stats)
 
     # -- internals --------------------------------------------------------
 
@@ -434,6 +429,40 @@ class StreamingLocalizer:
 
     # -- draining ---------------------------------------------------------
 
+    def close_all(self) -> None:
+        """Close every still-open window, in window-end (heap) order —
+        exactly as a watermark pushed past the last window end would close
+        them.  Verdict events fire as usual; further in-order ingestion
+        (at or past the watermark) remains legal afterwards."""
+        while self._heap:
+            _, _, bucket = heapq.heappop(self._heap)
+            if bucket not in self._final:
+                self._close(bucket)
+
+    def problem_records(
+        self,
+    ) -> List[Tuple[ProblemKey, List[Observation], bool,
+                    Optional[ProblemSolution]]]:
+        """Every problem's ``(key, observations, closed, solution)`` in
+        creation (= batch) order.
+
+        The engine's full per-problem state as data: the checkpoint format
+        (:mod:`repro.stream.checkpoint`) serializes these records, and the
+        sharded backend's workers export them at drain so the parent can
+        merge shards into one result.  ``solution`` is the *final* (close
+        time) solution — None while the window is open, and also None for
+        a closed window skipped as anomaly-free.
+        """
+        return [
+            (
+                self._keys[bucket],
+                self._states[bucket].observations,
+                bucket in self._final,
+                self._final.get(bucket),
+            )
+            for bucket in self._order
+        ]
+
     def drain(self) -> PipelineResult:
         """Close every open window and assemble the final result.
 
@@ -445,12 +474,7 @@ class StreamingLocalizer:
         """
         if self._drained is not None:
             return self._drained
-        # Remaining windows close in end order (heap order), exactly as a
-        # watermark pushed past the last window end would close them.
-        while self._heap:
-            _, _, bucket = heapq.heappop(self._heap)
-            if bucket not in self._final:
-                self._close(bucket)
+        self.close_all()
         solutions = [
             self._final[bucket]
             for bucket in self._order

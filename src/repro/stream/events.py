@@ -24,8 +24,14 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, FrozenSet, Optional
+from typing import Any, Callable, Dict, FrozenSet, Optional
 
+from repro.core.pipeline import (
+    problem_key_from_dict,
+    problem_key_to_dict,
+    solution_from_dict,
+    solution_to_dict,
+)
 from repro.core.problem import ProblemSolution
 from repro.core.splitting import ProblemKey
 
@@ -82,6 +88,54 @@ class VerdictEvent:
         return (
             f"[{self.sequence:>6}] t={self.timestamp:>9} "
             f"{self.kind.value:<17} {self.key}  {detail}"
+        )
+
+    # -- wire form (sharded backend workers ship events to the parent) ----
+
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form, round-tripping through :meth:`from_dict`."""
+        return {
+            "kind": self.kind.value,
+            "key": problem_key_to_dict(self.key),
+            "sequence": self.sequence,
+            "timestamp": self.timestamp,
+            "observations_ingested": self.observations_ingested,
+            "measurements_ingested": self.measurements_ingested,
+            "solution": (
+                solution_to_dict(self.solution)
+                if self.solution is not None
+                else None
+            ),
+            "asn": self.asn,
+            "previous_status": self.previous_status,
+            "candidates": (
+                sorted(self.candidates)
+                if self.candidates is not None
+                else None
+            ),
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Dict[str, Any]) -> "VerdictEvent":
+        return cls(
+            kind=VerdictKind(payload["kind"]),
+            key=problem_key_from_dict(payload["key"]),
+            sequence=payload["sequence"],
+            timestamp=payload["timestamp"],
+            observations_ingested=payload["observations_ingested"],
+            measurements_ingested=payload["measurements_ingested"],
+            solution=(
+                solution_from_dict(payload["solution"])
+                if payload.get("solution") is not None
+                else None
+            ),
+            asn=payload.get("asn"),
+            previous_status=payload.get("previous_status"),
+            candidates=(
+                frozenset(payload["candidates"])
+                if payload.get("candidates") is not None
+                else None
+            ),
         )
 
 

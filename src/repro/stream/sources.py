@@ -29,12 +29,24 @@ from repro.runner.spec import JobSpec
 from repro.runner.store import ResultStore
 from repro.scenario.world import World, build_world
 from repro.stream.engine import StreamingLocalizer
+from repro.util.deprecation import warn_once
 
 
 def engine_for_world(
     world: World, config: Optional[PipelineConfig] = None, **kwargs
 ) -> StreamingLocalizer:
-    """A streaming engine bound to a world's IP-to-AS data and countries."""
+    """A streaming engine bound to a world's IP-to-AS data and countries.
+
+    .. deprecated::
+        Superseded by :class:`repro.api.LocalizationSession` — bind a
+        session to the world (``LocalizationSession.for_world(world)``)
+        and use its streaming surface instead of a raw engine.
+    """
+    warn_once(
+        "stream.sources.engine_for_world",
+        "engine_for_world() is deprecated; use "
+        "repro.api.LocalizationSession.for_world(world) instead",
+    )
     return StreamingLocalizer(
         ip2as=world.ip2as,
         country_by_asn=world.country_by_asn,
@@ -124,11 +136,41 @@ def replay_stored_job(
 
     Callers that already built the job's world (e.g. to pre-subscribe an
     engine) pass it via ``world`` to avoid a second topology build.
+
+    .. deprecated::
+        Superseded by
+        :meth:`repro.api.LocalizationSession.replay_stored`, which this
+        shim delegates to unless a pre-built ``engine`` forces the legacy
+        path.
     """
+    warn_once(
+        "stream.sources.replay_stored_job",
+        "replay_stored_job() is deprecated; use "
+        "repro.api.LocalizationSession.replay_stored(store) instead",
+    )
+    if engine is None:
+        # Deferred import: repro.api.session imports this module's
+        # compare_with_stored.
+        from repro.api.config import SessionConfig
+        from repro.api.session import LocalizationSession
+
+        session = LocalizationSession(
+            SessionConfig.from_job(job), world=world
+        )
+        outcome = session.replay_stored(
+            store, job, progress_every=progress_every
+        )
+        backend = session.backend  # inline: the engine is inspectable
+        return ReplayOutcome(
+            job=job,
+            world=outcome.world,
+            engine=getattr(backend, "engine", None),
+            result=outcome.result,
+            verified=outcome.verified,
+            mismatches=tuple(outcome.mismatches),
+        )
     if world is None:
         world = build_world(job.scenario_config())
-    if engine is None:
-        engine = engine_for_world(world, config=job.pipeline_config())
     if job.without_churn:
         dataset = world.run_campaign(progress_every=progress_every)
         replay_dataset(dataset, engine, without_churn=True)

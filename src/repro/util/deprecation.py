@@ -1,0 +1,32 @@
+"""Warn-once deprecation shims.
+
+Old entry points superseded by :mod:`repro.api` keep working but emit one
+:class:`DeprecationWarning` per process the first time they are called —
+loud enough to steer migrations, quiet enough not to flood a sweep that
+calls a shim thousands of times.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Set
+
+_warned: Set[str] = set()
+
+
+def warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
+    """Emit ``message`` as a DeprecationWarning the first time ``key`` is
+    seen this process; return True when the warning actually fired."""
+    if key in _warned:
+        return False
+    _warned.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+    return True
+
+
+def reset_warned() -> None:
+    """Forget which keys have warned (test isolation only)."""
+    _warned.clear()
+
+
+__all__ = ["warn_once", "reset_warned"]

@@ -1,0 +1,33 @@
+"""Filesystem primitives shared across subsystems."""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+
+def atomic_write_bytes(path: Path, data: bytes) -> None:
+    """Write ``data`` to ``path`` atomically (tempfile + rename).
+
+    Readers never observe a partial file: the content lands in a
+    same-directory temp file first and is moved into place with
+    ``os.replace``.  Used by the result store's records and the session
+    checkpoint files.
+    """
+    handle, tmp_path = tempfile.mkstemp(
+        dir=str(path.parent), prefix=path.name, suffix=".tmp"
+    )
+    try:
+        with os.fdopen(handle, "wb") as tmp:
+            tmp.write(data)
+        os.replace(tmp_path, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
+
+
+__all__ = ["atomic_write_bytes"]
