@@ -22,12 +22,15 @@ bench:
 # number of existing snapshots).  Snapshots are slimmed before landing
 # (raw per-round sample arrays stripped; summary stats kept) so each one
 # costs ~60 KiB instead of ~1.4 MiB.  Compare snapshots across PRs to
-# catch regressions; CI runs this non-blocking.
+# catch regressions; CI runs this non-blocking.  GC is disabled during
+# timed rounds (as of BENCH_3): the bench process's fixture heap is
+# large enough that a gen-2 collection landing inside a round swamps
+# the statistic being measured.
 bench-json:
 	@n=$$(ls BENCH_*.json 2>/dev/null | wc -l); \
 	echo "writing BENCH_$$n.json"; \
 	$(PYTHON) -m pytest benchmarks/bench_headline.py benchmarks/bench_micro.py \
-	    -q --benchmark-json=BENCH_$$n.json && \
+	    -q --benchmark-json=BENCH_$$n.json --benchmark-disable-gc && \
 	$(PYTHON) benchmarks/slim_bench.py BENCH_$$n.json && \
 	$(PYTHON) -c "import json;d=json.load(open('BENCH_$$n.json'));print('\n'.join(f\"{b['name']}: {b['stats']['mean']*1000:.2f} ms (mean)\" for b in d['benchmarks']))"
 

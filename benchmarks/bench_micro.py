@@ -8,6 +8,8 @@ traceroute-to-AS-path conversion.
 import itertools
 import json
 
+import pytest
+
 from repro.api import ExecutionPolicy, SessionConfig
 from repro.api.backends import BackendContext, ShardedBackend
 from repro.core.aspath import convert_measurement
@@ -104,7 +106,16 @@ def test_micro_pipeline_solve(benchmark, bench_world, bench_dataset):
     assert len(result.solutions) == stats.problems
 
 
-def test_micro_stream_ingest(benchmark, bench_world, bench_dataset):
+# The crossover study: the sharded drain is benchmarked against
+# single-threaded ingest on the same slices.  6000 was the protocol-v0
+# break-even point; 2000 pins that the batched wire protocol moved the
+# crossover to (at latest) a third of that.
+STREAM_SLICES = (2000, 6000)
+
+
+@pytest.mark.parametrize("slice_size", STREAM_SLICES)
+def test_micro_stream_ingest(benchmark, bench_world, bench_dataset,
+                             slice_size):
     """Streaming ingestion throughput and verdict latency.
 
     Drains a slice of the paper-shaped campaign through the online engine
@@ -117,7 +128,7 @@ def test_micro_stream_ingest(benchmark, bench_world, bench_dataset):
     observations, _ = build_observations(
         bench_dataset, bench_world.ip2as
     )
-    slice_size = min(len(observations), 6000)
+    slice_size = min(len(observations), slice_size)
     feed = observations[:slice_size]
     stats_holder = {}
 
@@ -150,18 +161,20 @@ def test_micro_stream_ingest(benchmark, bench_world, bench_dataset):
     benchmark.extra_info["verdict_events"] = stats.events_emitted
 
 
-def test_micro_sharded_drain(benchmark, bench_world, bench_dataset):
+@pytest.mark.parametrize("slice_size", STREAM_SLICES)
+def test_micro_sharded_drain(benchmark, bench_world, bench_dataset,
+                             slice_size):
     """Sharded-backend drain: route → 4 worker processes → merge.
 
     The same observation slice ``test_micro_stream_ingest`` drains
     single-threaded goes through :class:`repro.api.ShardedBackend`
     instead, measuring the full distributed path — worker forks,
-    per-chunk IPC, parallel incremental solving, and the ordered merge —
-    end to end.  The one-time equality check against the inline engine
-    guards the merge itself.
+    per-chunk batched-wire IPC, parallel incremental solving, and the
+    ordered merge — end to end.  The one-time equality check against the
+    inline engine guards the merge itself.
     """
     observations, _ = build_observations(bench_dataset, bench_world.ip2as)
-    slice_size = min(len(observations), 6000)
+    slice_size = min(len(observations), slice_size)
     feed = observations[:slice_size]
     config = SessionConfig(
         preset="paper_shaped",

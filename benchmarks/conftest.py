@@ -15,8 +15,23 @@ benchmark timer wraps the computation that produces the figure/table.
 from __future__ import annotations
 
 import dataclasses
+import gc
 
 import pytest
+
+
+@pytest.fixture(autouse=True)
+def _collected_heap():
+    """Collect predecessors' garbage before every bench.
+
+    ``make bench-json`` disables GC inside timed rounds, so garbage from
+    earlier benches lingers and taxes later ones unevenly — most visibly
+    the sharded-drain bench, whose worker forks pay for every page still
+    mapped.  Collecting up front measures each bench against the live
+    fixture set only.
+    """
+    gc.collect()
+    yield
 
 from repro.core.pipeline import PipelineConfig
 from repro.iclab.platform import PlatformConfig

@@ -35,28 +35,67 @@ def snapshot_paths(root: Path) -> List[Path]:
     return [path for _, path in sorted(numbered)]
 
 
-def load_means(path: Path) -> Dict[str, float]:
-    """Benchmark name → mean seconds from one pytest-benchmark JSON."""
+def summarize_bench(bench: Dict) -> Optional[float]:
+    """One benchmark's mean seconds, from any snapshot layout.
+
+    Raw pytest-benchmark documents, slimmed ones (``slim_bench.py``),
+    and hand-reduced stat sets all normalize to the same summary here:
+    ``stats.mean`` when present, else derived from ``total``/``rounds``,
+    else the average of the raw ``data`` samples.  Returns None when a
+    bench carries no usable timing at all — the diff then *reports* it
+    as unreadable instead of silently dropping or crashing on it.
+    """
+    stats = bench.get("stats") or {}
+    mean = stats.get("mean")
+    if isinstance(mean, (int, float)):
+        return float(mean)
+    total, rounds = stats.get("total"), stats.get("rounds")
+    if (
+        isinstance(total, (int, float))
+        and isinstance(rounds, int)
+        and rounds > 0
+    ):
+        return float(total) / rounds
+    data = stats.get("data")
+    if isinstance(data, list) and data:
+        return float(sum(data)) / len(data)
+    return None
+
+
+def load_means(path: Path) -> Dict[str, Optional[float]]:
+    """Benchmark name → normalized mean seconds (None: no usable stats).
+
+    Reads every snapshot layout in the repo's history — raw and slimmed
+    — through one summary schema (:func:`summarize_bench`), so a
+    cross-format diff (e.g. BENCH_1 raw vs BENCH_2 slimmed) compares
+    every benchmark the two snapshots share.
+    """
     with open(path, "r", encoding="utf-8") as handle:
         payload = json.load(handle)
     return {
-        bench["name"]: bench["stats"]["mean"]
+        bench["name"]: summarize_bench(bench)
         for bench in payload.get("benchmarks", [])
+        if "name" in bench
     }
 
 
 def diff_rows(
-    old: Dict[str, float], new: Dict[str, float]
+    old: Dict[str, Optional[float]], new: Dict[str, Optional[float]]
 ) -> List[Tuple[str, str, str, str]]:
     """(benchmark, old mean, new mean, change) rows over the union."""
     rows = []
     for name in sorted(set(old) | set(new)):
+        in_old, in_new = name in old, name in new
         old_mean = old.get(name)
         new_mean = new.get(name)
-        if old_mean is None:
+        if not in_old:
             rows.append((name, "-", _ms(new_mean), "added"))
-        elif new_mean is None:
+        elif not in_new:
             rows.append((name, _ms(old_mean), "-", "removed"))
+        elif old_mean is None or new_mean is None:
+            # Present on both sides but at least one carries no usable
+            # stats: say so, never silently drop the row.
+            rows.append((name, _ms(old_mean), _ms(new_mean), "no stats"))
         else:
             change = (
                 f"{new_mean / old_mean - 1.0:+.1%}" if old_mean else "n/a"

@@ -50,6 +50,7 @@ from repro.api.checkpoint import (
 )
 from repro.api.config import (
     BACKENDS,
+    TRANSPORTS,
     ExecutionPolicy,
     SessionConfig,
 )
@@ -73,6 +74,7 @@ __all__ = [
     "backend_for",
     "shard_of",
     "BACKENDS",
+    "TRANSPORTS",
     "CHECKPOINT_FORMAT",
     "read_checkpoint",
     "write_checkpoint",

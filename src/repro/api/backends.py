@@ -24,11 +24,25 @@ engine-state dict (:mod:`repro.stream.checkpoint` format), ``restore()``
 rebuilds from it — so a campaign checkpointed under one backend can
 resume under the other, or under a different shard count.
 
-Worker plumbing mirrors the sweep executor: one process per shard, a
-duplex pipe, and a daemon receiver thread per worker draining the pipe
+Worker plumbing: each shard is one worker process behind a
+:class:`~repro.api.transport.ShardTransport` — a duplex pipe to a forked
+local process, or a TCP socket to a worker on any host (started via
+``repro-runner shard-worker --connect``).  Frames use the compact
+batched wire protocol (:mod:`repro.api.wire`): tuple-encoded observation
+chunks and verdict-event batches, one frame per chunk, which is what
+makes the shard boundary cheap enough for sharding to win well before
+paper scale.  A daemon receiver thread per worker drains the transport
 into a queue so neither side ever blocks the other into a deadlock (the
 parent's sends can only stall while a worker is mid-ingest, and workers
 always return to ``recv`` because their sends are always drained).
+
+Dead shards recover instead of failing the stream: the parent keeps each
+worker's last engine-state slice (its *baseline*: the initial restore
+slice, a periodic snapshot, or a session checkpoint) plus the encoded
+frames sent since, respawns/reconnects the worker, restores the
+baseline, replays the log, and deduplicates the re-emitted verdict
+events by the shard-local sequence already delivered — so subscribers
+see each event exactly once and the drain stays byte-identical.
 """
 
 from __future__ import annotations
@@ -36,9 +50,10 @@ from __future__ import annotations
 import abc
 import queue as queue_module
 import threading
+import traceback
 import zlib
 from dataclasses import dataclass, field, replace
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.observations import (
     DiscardStats,
@@ -52,11 +67,7 @@ from repro.core.pipeline import (
     PipelineResult,
     assemble_result,
     observation_from_dict,
-    observation_to_dict,
     problem_key_from_dict,
-    problem_key_to_dict,
-    solution_from_dict,
-    solution_to_dict,
 )
 from repro.core.problem import SolutionStatus
 from repro.core.splitting import ProblemKey, window_start
@@ -70,6 +81,7 @@ from repro.stream.checkpoint import (
     identification_from_dict,
     identification_to_dict,
     restore_engine,
+    state_slice,
 )
 from repro.stream.engine import (
     LATE_ERROR,
@@ -81,11 +93,22 @@ from repro.stream.state import StreamStats
 from repro.util.profiling import StageTimer, maybe_stage
 from repro.util.timeutil import TimeWindow
 
-from repro.api.config import SessionConfig
+from repro.api import wire
+from repro.api.config import TRANSPORT_SOCKET, SessionConfig
+from repro.api.transport import (
+    PipeTransport,
+    ShardListener,
+    ShardTransport,
+    TransportError,
+    connect_worker,
+)
 
 # Un-consumed worker replies the parent allows per shard before blocking;
 # bounds parent-side queue memory without serializing the pipeline.
 MAX_OUTSTANDING = 8
+
+# Consecutive respawn failures before recovery gives up on a shard.
+RECOVERY_ATTEMPTS = 3
 
 
 def shard_of(url: str, anomaly_value: str, shards: int) -> int:
@@ -99,7 +122,7 @@ def shard_of(url: str, anomaly_value: str, shards: int) -> int:
 
 
 class BackendError(RuntimeError):
-    """A worker process failed or died mid-stream."""
+    """A worker process failed, or died beyond recovery."""
 
 
 @dataclass
@@ -300,16 +323,38 @@ def _mp_context():
     return _pool_context()
 
 
-def _shard_worker_main(
-    conn, config_payload: Dict[str, Any], want_events: bool
-) -> None:
-    """One shard: an engine over this worker's (URL, anomaly) pairs.
+def run_shard_worker(transport: ShardTransport) -> None:
+    """One shard worker over any transport: an engine over this worker's
+    (URL, anomaly) pairs.
 
-    Replies exactly once per request — the flow-control contract the
-    parent's outstanding counters rely on.  The engine runs without an
-    IP-to-AS database (the parent pre-converts) and with an empty country
-    map (the parent assembles the merged result).
+    The first frame must be the parent's hello (wire-format version,
+    shard index, session config, event switch); the worker acks with its
+    own version so mismatched builds fail loudly instead of mis-decoding
+    frames.  After that, the worker replies exactly once per request —
+    the flow-control contract the parent's outstanding counters rely on.
+    The engine runs without an IP-to-AS database (the parent
+    pre-converts) and with an empty country map (the parent assembles
+    the merged result).
+
+    On an engine exception the worker first flushes any verdict events
+    already buffered for the current chunk, then ships the full
+    formatted traceback — the parent surfaces it verbatim, and the
+    events that preceded the failure are not lost with it.
     """
+    try:
+        hello = transport.recv()
+    except (EOFError, OSError):
+        transport.close()
+        return
+    try:
+        _, config_payload, want_events = wire.check_hello(hello)
+    except wire.WireFormatError as exc:
+        try:
+            transport.send(("error", str(exc)))
+        except OSError:
+            pass
+        transport.close()
+        return
     config = SessionConfig.from_dict(config_payload)
     pipeline_config = config.pipeline_config()
     late_policy = config.execution.late_policy
@@ -328,145 +373,191 @@ def _shard_worker_main(
 
     engine = fresh_engine()
     try:
+        transport.send(("hello", wire.WIRE_FORMAT))
         while True:
-            message = conn.recv()
+            message = transport.recv()
             kind = message[0]
             if kind == "obs":
+                ingest = engine.ingest_observation
+                from_wire = wire.observation_from_wire
                 for payload in message[1]:
-                    engine.ingest_observation(observation_from_dict(payload))
-                conn.send(("events", _take_events(events)))
+                    ingest(from_wire(payload))
+                # Chunk replies exist to carry verdict events (and to
+                # bound the parent's reply queue while they do).  With
+                # no subscribers there is nothing to ship: obs frames
+                # are fire-and-forget and the OS pipe/socket buffer is
+                # the flow control.
+                if want_events:
+                    transport.send(("events", _take_events(events)))
             elif kind == "advance":
                 engine.advance(message[1])
-                conn.send(("events", _take_events(events)))
+                transport.send(("events", _take_events(events)))
             elif kind == "state":
-                conn.send(("state", engine_state(engine)))
+                transport.send(("state", engine_state(engine)))
             elif kind == "restore":
                 engine = restore_engine(
                     message[1], None, {}, pipeline_config, late_policy
                 )
                 if want_events:
                     engine.subscribe(events.append)
-                conn.send(("ok",))
+                transport.send(("ok",))
             elif kind == "drain":
                 engine.close_all()
-                conn.send(("drain", _drain_payload(engine, events)))
+                transport.send(("drain", _drain_payload(engine, events)))
             elif kind == "stop":
                 break
             else:  # pragma: no cover - protocol bug guard
                 raise ValueError(f"unknown message kind {kind!r}")
     except EOFError:  # parent died; nothing to report to
         pass
-    except Exception as exc:  # noqa: BLE001 - ship the failure upstream
+    except Exception:  # noqa: BLE001 - ship the failure upstream
         try:
-            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+            pending = _take_events(events)
+            if pending:
+                transport.send(("events", pending))
+            transport.send(("error", traceback.format_exc()))
         except OSError:
             pass
     finally:
-        conn.close()
+        transport.close()
 
 
-def _take_events(events: List[VerdictEvent]) -> List[Dict[str, Any]]:
-    payload = [event.to_dict() for event in events]
+def _pipe_worker_entry(conn) -> None:
+    run_shard_worker(PipeTransport(conn))
+
+
+def _socket_worker_entry(address: str, retry_for: float) -> None:
+    run_shard_worker(connect_worker(address, retry_for))
+
+
+def _take_events(events: List[VerdictEvent]) -> Tuple:
+    payload = tuple(wire.event_to_wire(event) for event in events)
     events.clear()
     return payload
 
 
 def _drain_payload(
     engine: StreamingLocalizer, events: List[VerdictEvent]
-) -> Dict[str, Any]:
-    return {
-        "events": _take_events(events),
-        "problems": [
-            (
-                problem_key_to_dict(key),
-                solution_to_dict(solution) if solution is not None else None,
-            )
+) -> Tuple:
+    """(events, problems, stats, confirmed, identifications).
+
+    Problems travel as raw (key, solution) object pairs: measured
+    against tuple re-encoding, pickling the dataclasses directly is both
+    faster and smaller here (the enum members and interned field strings
+    memoize once per frame), and the parent can merge them without any
+    reconstruction."""
+    return (
+        _take_events(events),
+        tuple(
+            (key, solution)
             for key, _, _, solution in engine.problem_records()
-        ],
-        "stats": engine.stats.as_dict(),
-        "confirmed": {
+        ),
+        engine.stats.as_dict(),
+        {
             str(asn): count
             for asn, count in sorted(engine._confirmed.items())
         },
-        "identifications": [
+        [
             identification_to_dict(identification)
             for identification in engine.identifications
         ],
-    }
+    )
 
 
 class _ShardWorker:
-    """One shard's process, pipe, receiver thread, and reply queue."""
+    """One shard's worker process/connection and its recovery ledger.
 
-    def __init__(
-        self, ctx, index: int, config_payload: Dict[str, Any],
-        want_events: bool,
-    ) -> None:
+    The ledger is what makes a dead worker a non-event: ``baseline`` is
+    the last engine-state slice known to be behind us (initial restore,
+    periodic snapshot, or session checkpoint), ``log`` the encoded
+    frames sent since, and ``delivered_seq`` the highest shard-local
+    verdict-event sequence already handed to subscribers — the replay
+    dedup line.
+    """
+
+    def __init__(self, backend: "ShardedBackend", index: int) -> None:
         self.index = index
-        parent_conn, child_conn = ctx.Pipe(duplex=True)
-        self.process = ctx.Process(
-            target=_shard_worker_main,
-            args=(child_conn, config_payload, want_events),
-            # Daemonic: a parent that dies (or errors out) without
-            # close()/drain() must not hang interpreter exit on
-            # multiprocessing's atexit join — shard workers hold no
-            # state worth a graceful shutdown.
-            daemon=True,
-        )
-        self.process.start()
-        child_conn.close()
-        self.conn = parent_conn
+        self._backend = backend
+        self.transport: Optional[ShardTransport] = None
+        self.process = None             # None for external socket workers
+        self.queue: Optional["queue_module.Queue[Optional[Tuple]]"] = None
         self.outstanding = 0
-        self.queue: "queue_module.Queue[Optional[Tuple]]" = (
-            queue_module.Queue()
+        self.delivered_seq = 0
+        self.baseline: Optional[Dict[str, Any]] = None
+        self.log: List[bytes] = []
+        self.chunks_since_snapshot = 0
+        self.snapshot_mark: Optional[int] = None
+        self.failures = 0           # consecutive recoveries without service
+        self._stopped = False
+        self.spawn()
+
+    def spawn(self) -> None:
+        """(Re)establish the worker: transport, receiver thread, hello."""
+        self.transport, self.process = self._backend._open_transport(
+            self.index
         )
+        # A fresh queue per incarnation: a dead worker's receiver thread
+        # still holds the old queue, so its late sentinel cannot leak
+        # into the new conversation, and undelivered replies from the
+        # old incarnation vanish with it (replay re-produces them).
+        self.queue = queue_module.Queue()
+        self.outstanding = 0
+        self.snapshot_mark = None
+        self._stopped = False
+        threading.Thread(
+            target=self._receive,
+            args=(self.transport, self.queue),
+            daemon=True,
+        ).start()
+        self.transport.send(self._backend._hello(self.index))
+        self.outstanding += 1           # the hello ack
+
+    @staticmethod
+    def _receive(transport: ShardTransport, queue) -> None:
         # The receiver owns the blocking recv (executor pattern): worker
         # sends never back-pressure into a deadlock, and a dead worker
         # surfaces as a None sentinel instead of a hung parent.
-        self._receiver = threading.Thread(
-            target=self._receive, daemon=True
-        )
-        self._receiver.start()
-
-    def _receive(self) -> None:
         try:
             while True:
-                self.queue.put(self.conn.recv())
+                queue.put(transport.recv())
         except (EOFError, OSError):
-            self.queue.put(None)
+            queue.put(None)
 
-    def send(self, message: Tuple) -> None:
-        self.conn.send(message)
+    def exit_description(self) -> str:
+        if self.process is not None:
+            return f"exit code {self.process.exitcode}"
+        return "connection lost"
 
-    def next_reply(self, timeout: Optional[float] = None) -> Tuple:
-        try:
-            reply = self.queue.get(timeout=timeout)
-        except queue_module.Empty:
-            raise BackendError(
-                f"shard {self.index} did not reply within {timeout}s"
-            ) from None
-        if reply is None:
-            raise BackendError(
-                f"shard {self.index} died (exit code "
-                f"{self.process.exitcode})"
-            )
-        if reply[0] == "error":
-            raise BackendError(f"shard {self.index} failed: {reply[1]}")
-        return reply
-
-    def close(self) -> None:
-        try:
-            self.conn.send(("stop",))
-        except (BrokenPipeError, OSError):
-            pass
-        self.process.join(timeout=5.0)
-        if self.process.is_alive():
+    def discard(self) -> None:
+        """Tear down the current incarnation before a respawn."""
+        if self.transport is not None:
+            self.transport.close()
+        if self.process is not None and self.process.is_alive():
             self.process.terminate()
-            self.process.join()
+            self.process.join(timeout=5.0)
+
+    def request_stop(self) -> None:
+        """Ask the worker to exit without waiting for it.
+
+        The drain path sends this to every shard right after collecting
+        the payloads, so the workers wind down concurrently with the
+        parent's merge instead of serializing behind it at close()."""
+        if self._stopped:
+            return
+        self._stopped = True
         try:
-            self.conn.close()
+            self.transport.send(("stop",))
         except OSError:
             pass
+
+    def close(self, wait: bool = True) -> None:
+        self.request_stop()
+        if self.process is not None and wait:
+            self.process.join(timeout=5.0)
+            if self.process.is_alive():
+                self.process.terminate()
+                self.process.join()
+        self.transport.close()
 
 
 class _GroupTracker:
@@ -485,17 +576,30 @@ class _GroupTracker:
         self.order: List[Tuple] = []                  # bucket creation order
         self.keys: Dict[Tuple, ProblemKey] = {}
         self.groups: Dict[Tuple, List[Observation]] = {}
+        # Hot-path index: (anomaly, url) → one {window start: group} per
+        # granularity.  The group lists are shared with ``groups``, so
+        # appends through either view land in both.
+        self._by_pair: Dict[Tuple, List[Dict[int, List[Observation]]]] = {}
 
     def add(self, observation: Observation) -> None:
+        # Hot path: one call per observation per stream.  One pair
+        # lookup plus one int-keyed lookup per granularity — cheaper
+        # than building and hashing a 4-tuple bucket key three times.
         url = observation.url
         anomaly = observation.anomaly
         timestamp = observation.timestamp
+        per_granularity = self._by_pair.get((anomaly, url))
+        if per_granularity is None:
+            per_granularity = self._by_pair[(anomaly, url)] = [
+                {} for _ in self.sizes
+            ]
         for index, size in self.sizes:
-            start = window_start(timestamp, size)
-            bucket = (anomaly, url, index, start)
-            group = self.groups.get(bucket)
+            start = timestamp - timestamp % size
+            windows = per_granularity[index]
+            group = windows.get(start)
             if group is None:
-                group = self.groups[bucket] = []
+                group = windows[start] = []
+                bucket = (anomaly, url, index, start)
                 self.order.append(bucket)
                 self.keys[bucket] = ProblemKey(
                     url=url,
@@ -503,19 +607,21 @@ class _GroupTracker:
                     granularity=self._granularities[index],
                     window=TimeWindow(start, start + size),
                 )
+                self.groups[bucket] = group
             group.append(observation)
 
     def register(self, key: ProblemKey, observations: List[Observation]):
         """Adopt one problem wholesale (checkpoint restore)."""
-        bucket = (
-            key.anomaly,
-            key.url,
-            self._granularities.index(key.granularity),
-            key.window.start,
-        )
+        index = self._granularities.index(key.granularity)
+        bucket = (key.anomaly, key.url, index, key.window.start)
         self.order.append(bucket)
         self.keys[bucket] = key
-        self.groups[bucket] = list(observations)
+        group = list(observations)
+        self.groups[bucket] = group
+        per_granularity = self._by_pair.setdefault(
+            (key.anomaly, key.url), [{} for _ in self.sizes]
+        )
+        per_granularity[index][key.window.start] = group
 
 
 def _key_id(key: ProblemKey) -> Tuple[str, str, str, int]:
@@ -533,8 +639,15 @@ class ShardedBackend(ExecutionBackend):
     def __init__(self, context: BackendContext) -> None:
         super().__init__(context)
         config = context.config
-        self.shards = config.execution.shards
-        self.chunk_size = config.execution.chunk_size
+        policy = config.execution
+        self.shards = policy.shards
+        self.chunk_size = policy.chunk_size
+        self.transport_kind = policy.transport
+        self.recoveries = 0             # dead workers brought back so far
+        self._recovery = policy.recovery
+        self._snapshot_every = policy.shard_checkpoint_every
+        self._connect_timeout = policy.connect_timeout
+        self._shard_hosts = policy.shard_hosts
         pipeline_config = config.pipeline_config()
         self._anomalies = pipeline_config.anomalies
         self._late_error = (
@@ -544,10 +657,14 @@ class ShardedBackend(ExecutionBackend):
         self._discard = DiscardStats()
         self._stats = StreamStats()     # parent-side ingest counters
         self._conversion_cache: Dict = {}
-        self._buffers: List[List[Dict[str, Any]]] = [
+        self._shard_cache: Dict[Tuple[str, str], int] = {}
+        self._buffers: List[List[Tuple]] = [
             [] for _ in range(self.shards)
         ]
         self._workers: Optional[List[_ShardWorker]] = None
+        self._listeners: Optional[List[ShardListener]] = None
+        self._config_payload: Optional[Dict[str, Any]] = None
+        self._want_events = False
         self._watermark: Optional[int] = None
         self._sequence = 0              # merged event stream counter
         self._last_measurement_id: Optional[int] = None
@@ -564,25 +681,107 @@ class ShardedBackend(ExecutionBackend):
 
     # -- worker lifecycle --------------------------------------------------
 
+    def _hello(self, index: int) -> Tuple:
+        return wire.hello_frame(
+            index, self._config_payload, self._want_events
+        )
+
+    def _open_transport(self, index: int):
+        """One shard's channel: fork a pipe worker, or accept a socket.
+
+        Called both at startup and on every recovery respawn — for
+        sockets the shard's listener stays bound, so a replacement
+        worker (self-spawned locally, or an operator-restarted
+        ``shard-worker`` process) lands on the same address.
+        """
+        if self.transport_kind != TRANSPORT_SOCKET:
+            ctx = _mp_context()
+            parent_conn, child_conn = ctx.Pipe(duplex=True)
+            process = ctx.Process(
+                target=_pipe_worker_entry,
+                args=(child_conn,),
+                # Daemonic: a parent that dies (or errors out) without
+                # close()/drain() must not hang interpreter exit on
+                # multiprocessing's atexit join — shard workers hold no
+                # state worth a graceful shutdown.
+                daemon=True,
+            )
+            process.start()
+            child_conn.close()
+            return PipeTransport(parent_conn), process
+        listener = self._listeners[index]
+        process = None
+        if not self._shard_hosts:
+            # Self-hosted socket shards: the parent spawns its own
+            # connecting workers on localhost (the smoke-testable shape
+            # of the multi-host deployment).
+            ctx = _mp_context()
+            process = ctx.Process(
+                target=_socket_worker_entry,
+                args=(listener.address, self._connect_timeout),
+                daemon=True,
+            )
+            process.start()
+        try:
+            transport = listener.accept(self._connect_timeout)
+        except TransportError as exc:
+            raise BackendError(str(exc)) from exc
+        return transport, process
+
     def _ensure_workers(self) -> List[_ShardWorker]:
         if self._workers is None:
-            ctx = _mp_context()
-            payload = self.context.config.to_dict()
-            want_events = bool(self.context.subscribers)
-            self._workers = [
-                _ShardWorker(ctx, index, payload, want_events)
-                for index in range(self.shards)
-            ]
+            self._config_payload = self.context.config.to_dict()
+            self._want_events = bool(self.context.subscribers)
+            if (
+                self.transport_kind == TRANSPORT_SOCKET
+                and self._listeners is None
+            ):
+                addresses = self._shard_hosts or (
+                    ("127.0.0.1:0",) * self.shards
+                )
+                # Bind everything before accepting anything, so external
+                # workers may dial the addresses in any order (the TCP
+                # backlog parks early arrivals).
+                self._listeners = [
+                    ShardListener(address) for address in addresses
+                ]
+            # Spawn incrementally so a failure on shard k (a socket
+            # accept timing out, a fork failing) releases shards 0..k-1
+            # instead of leaking their processes/connections.
+            workers: List[_ShardWorker] = []
+            try:
+                for index in range(self.shards):
+                    workers.append(_ShardWorker(self, index))
+            except BaseException:
+                for worker in workers:
+                    worker.close(wait=False)
+                if self._listeners is not None:
+                    for listener in self._listeners:
+                        listener.close()
+                    self._listeners = None
+                raise
+            self._workers = workers
             if self._restore_state is not None:
                 self._send_restore(self._restore_state)
                 self._restore_state = None
         return self._workers
 
-    def close(self) -> None:
+    @property
+    def listen_addresses(self) -> List[str]:
+        """The bound per-shard socket addresses (socket transport only)."""
+        if self._listeners is None:
+            return []
+        return [listener.address for listener in self._listeners]
+
+    def close(self, wait: bool = True) -> None:
         if self._workers is not None:
             for worker in self._workers:
-                worker.close()
+                worker.close(wait=wait)
             self._workers = None
+        if self._listeners is not None:
+            for listener in self._listeners:
+                listener.close()
+            self._listeners = None
 
     # -- ingestion ---------------------------------------------------------
 
@@ -612,16 +811,19 @@ class ShardedBackend(ExecutionBackend):
     def _ingest(
         self, observation: Observation, count_measurement: bool
     ) -> None:
+        # Hot path: every observation of every stream funnels through
+        # here — prefer locals and single attribute reads.
         timestamp = observation.timestamp
         if timestamp < 0:
             raise ValueError(f"negative timestamp: {timestamp}")
+        stats = self._stats
         if (
             count_measurement
             and observation.measurement_id != self._last_measurement_id
         ):
-            self._stats.measurements += 1
+            stats.measurements += 1
             self._last_measurement_id = observation.measurement_id
-        self._stats.observations += 1
+        stats.observations += 1
         if self._watermark is None or timestamp > self._watermark:
             self._watermark = timestamp
         if self._late_error:
@@ -636,11 +838,17 @@ class ShardedBackend(ExecutionBackend):
                         f"elapsed {size}s window"
                     )
         self._tracker.add(observation)
-        shard = shard_of(
-            observation.url, observation.anomaly.value, self.shards
-        )
+        # Enum .value is a descriptor call — resolve it once for the
+        # shard route and hand it to the encoder.
+        anomaly_value = observation.anomaly.value
+        route = (observation.url, anomaly_value)
+        shard = self._shard_cache.get(route)
+        if shard is None:
+            shard = self._shard_cache[route] = shard_of(
+                route[0], route[1], self.shards
+            )
         buffer = self._buffers[shard]
-        buffer.append(observation_to_dict(observation))
+        buffer.append(wire.observation_to_wire(observation, anomaly_value))
         if len(buffer) >= self.chunk_size:
             self._flush(shard)
 
@@ -650,15 +858,15 @@ class ShardedBackend(ExecutionBackend):
             self._watermark = timestamp
         workers = self._ensure_workers()
         self._flush_all()
+        frame = wire.encode(("advance", timestamp))
         for worker in workers:
-            worker.send(("advance", timestamp))
-            worker.outstanding += 1
+            self._post_frame(worker, frame)
         self._pump()
         # Same reply bound as _flush: a keep-alive-heavy source must not
         # grow the parent-side queues without limit.
         for worker in workers:
             while worker.outstanding >= MAX_OUTSTANDING:
-                self._handle_reply(worker, worker.next_reply())
+                self._handle_reply(worker, self._next_reply(worker))
 
     def merge_discard_stats(self, stats: DiscardStats) -> None:
         self._discard.merge(stats)
@@ -669,22 +877,103 @@ class ShardedBackend(ExecutionBackend):
 
     # -- worker I/O --------------------------------------------------------
 
+    def _post_frame(
+        self,
+        worker: _ShardWorker,
+        frame: bytes,
+        expects_reply: bool = True,
+    ) -> None:
+        """Log one state-mutating frame for recovery replay, then ship it.
+
+        Logged *before* the send: if the send itself discovers a dead
+        peer, the recovery replay already includes this frame.
+        ``expects_reply=False`` marks fire-and-forget frames (obs chunks
+        with no subscribers attached)."""
+        worker.log.append((frame, expects_reply))
+        try:
+            worker.transport.send_bytes(frame)
+        except OSError:
+            self._recover(worker)
+            return                      # replay shipped it (and counted it)
+        if expects_reply:
+            worker.outstanding += 1
+
+    def _send_request(self, worker: _ShardWorker, frame: bytes) -> None:
+        """Ship one read-only request (state/drain); never logged."""
+        while True:
+            try:
+                worker.transport.send_bytes(frame)
+            except OSError:
+                self._recover(worker)
+                continue
+            worker.outstanding += 1
+            return
+
     def _flush(self, shard: int) -> None:
         workers = self._ensure_workers()
         buffer = self._buffers[shard]
         if not buffer:
             return
         worker = workers[shard]
-        worker.send(("obs", buffer))
-        worker.outstanding += 1
+        self._post_frame(
+            worker,
+            wire.encode(("obs", buffer)),
+            expects_reply=self._want_events,
+        )
         self._buffers[shard] = []
+        worker.chunks_since_snapshot += 1
+        self._maybe_snapshot(worker)
         self._pump()
         while worker.outstanding >= MAX_OUTSTANDING:
-            self._handle_reply(worker, worker.next_reply())
+            self._handle_reply(worker, self._next_reply(worker))
 
     def _flush_all(self) -> None:
         for shard in range(self.shards):
             self._flush(shard)
+
+    def _maybe_snapshot(self, worker: _ShardWorker) -> None:
+        """Request a recovery snapshot when the shard's log is due one.
+
+        The reply (handled asynchronously in ``_handle_reply``) becomes
+        the shard's new baseline and truncates the frames it covers —
+        bounding both replay time after a crash and parent-side log
+        memory on long streams."""
+        if (
+            not self._snapshot_every
+            or worker.snapshot_mark is not None
+            or worker.chunks_since_snapshot < self._snapshot_every
+        ):
+            return
+        worker.snapshot_mark = len(worker.log)
+        self._send_request(worker, wire.encode(("state",)))
+
+    def _next_reply(
+        self,
+        worker: _ShardWorker,
+        timeout: Optional[float] = None,
+        resend: Optional[bytes] = None,
+    ) -> Tuple:
+        """One reply off the worker's queue, recovering a dead worker
+        transparently.  ``resend`` re-ships a pending read-only request
+        (state/drain) after a recovery, since those are not in the
+        replay log."""
+        while True:
+            try:
+                reply = worker.queue.get(timeout=timeout)
+            except queue_module.Empty:
+                raise BackendError(
+                    f"shard {worker.index} did not reply within {timeout}s"
+                ) from None
+            if reply is None:
+                self._recover(worker)
+                if resend is not None:
+                    self._send_request(worker, resend)
+                continue
+            if reply[0] == "error":
+                raise BackendError(
+                    f"shard {worker.index} failed:\n{reply[1]}"
+                )
+            return reply
 
     def _pump(self) -> None:
         """Drain every already-available worker reply (non-blocking)."""
@@ -697,13 +986,11 @@ class ShardedBackend(ExecutionBackend):
                 except queue_module.Empty:
                     break
                 if reply is None:
-                    raise BackendError(
-                        f"shard {worker.index} died (exit code "
-                        f"{worker.process.exitcode})"
-                    )
+                    self._recover(worker)
+                    break
                 if reply[0] == "error":
                     raise BackendError(
-                        f"shard {worker.index} failed: {reply[1]}"
+                        f"shard {worker.index} failed:\n{reply[1]}"
                     )
                 self._handle_reply(worker, reply)
 
@@ -711,43 +998,158 @@ class ShardedBackend(ExecutionBackend):
         kind = reply[0]
         if kind == "events":
             worker.outstanding -= 1
-            self._deliver(reply[1])
+            worker.failures = 0
+            self._deliver(worker, reply[1])
         elif kind == "ok":
             worker.outstanding -= 1
+            worker.failures = 0
+        elif kind == "hello":
+            # Deliberately not a failure reset: a worker that acks the
+            # hello and then dies is still a chronic crasher.
+            worker.outstanding -= 1
+            wire.check_hello_ack(reply)
+        elif kind == "state":
+            worker.outstanding -= 1
+            worker.failures = 0
+            self._adopt_snapshot(worker, reply[1])
         else:  # pragma: no cover - protocol bug guard
             raise BackendError(
                 f"unexpected reply {kind!r} from shard {worker.index}"
             )
 
-    def _deliver(self, event_payloads: List[Dict[str, Any]]) -> None:
+    def _adopt_snapshot(
+        self, worker: _ShardWorker, state: Dict[str, Any]
+    ) -> None:
+        if worker.snapshot_mark is None:
+            raise BackendError(
+                f"unsolicited state payload from shard {worker.index}"
+            )
+        worker.baseline = state
+        del worker.log[: worker.snapshot_mark]
+        worker.snapshot_mark = None
+        worker.chunks_since_snapshot = 0
+
+    def _deliver(self, worker: _ShardWorker, event_payloads: Tuple) -> None:
         """Forward one shard's event batch, re-sequenced into the merged
         stream.  Per-shard order is preserved exactly; cross-shard order
         follows batch arrival.  ``observations_ingested`` counters inside
-        the events are shard-local by construction."""
-        if not event_payloads or not self.context.subscribers:
+        the events are shard-local by construction.
+
+        Events at or below the shard's delivered high-water are replay
+        duplicates from a recovery (the worker re-emits them with the
+        same shard-local sequences, because the replayed frame stream is
+        identical) and are dropped — subscribers see each event exactly
+        once."""
+        if not event_payloads:
             return
-        for payload in event_payloads:
+        seq = wire.EVENT_SEQUENCE_INDEX
+        high = worker.delivered_seq
+        fresh = [
+            payload for payload in event_payloads if payload[seq] > high
+        ]
+        if not fresh:
+            return
+        worker.delivered_seq = fresh[-1][seq]
+        if not self.context.subscribers:
+            return
+        for payload in fresh:
             self._sequence += 1
             event = replace(
-                VerdictEvent.from_dict(payload), sequence=self._sequence
+                wire.event_from_wire(payload), sequence=self._sequence
             )
             for subscriber in self.context.subscribers:
                 subscriber(event)
 
+    # -- dead-shard recovery -----------------------------------------------
+
+    def _recover(self, worker: _ShardWorker) -> None:
+        """Bring a dead worker back from its baseline + replay log.
+
+        The replacement process (pipe: a fresh fork; socket: the next
+        connection accepted on the shard's listener) restores the
+        baseline slice, then re-processes every logged frame in order.
+        Determinism does the rest: the rebuilt engine re-emits exactly
+        the events the dead one did, and ``_deliver`` drops the ones
+        already handed out."""
+        detail = worker.exit_description()
+        if not self._recovery:
+            raise BackendError(
+                f"shard {worker.index} died ({detail}); recovery is "
+                f"disabled by the execution policy"
+            )
+        while True:
+            # The failure budget lives on the worker and only resets when
+            # a recovered incarnation *serves* something (a non-hello
+            # reply, in _handle_reply/_collect) — so a worker that keeps
+            # crashing right after a vacuously successful rebuild (empty
+            # log, buffered sends) exhausts the budget instead of
+            # respawn-looping forever.
+            worker.failures += 1
+            if worker.failures > RECOVERY_ATTEMPTS:
+                raise BackendError(
+                    f"shard {worker.index} died ({detail}) and kept "
+                    f"failing through {RECOVERY_ATTEMPTS} recovery "
+                    f"attempts"
+                )
+            worker.discard()
+            try:
+                worker.spawn()
+            except (BackendError, OSError):
+                continue
+            if self._rebuild(worker):
+                self.recoveries += 1
+                return
+
+    def _rebuild(self, worker: _ShardWorker) -> bool:
+        """One baseline-restore + log-replay attempt; False on a death
+        mid-replay (the caller respawns and starts over — the log is
+        only ever truncated by confirmed snapshots, so a replay can
+        safely restart from the top)."""
+        try:
+            if worker.baseline is not None:
+                worker.transport.send_bytes(
+                    wire.encode(("restore", worker.baseline))
+                )
+                worker.outstanding += 1
+            for frame, expects_reply in list(worker.log):
+                worker.transport.send_bytes(frame)
+                if expects_reply:
+                    worker.outstanding += 1
+                while worker.outstanding >= MAX_OUTSTANDING:
+                    reply = worker.queue.get()
+                    if reply is None:
+                        return False
+                    if reply[0] == "error":
+                        raise BackendError(
+                            f"shard {worker.index} failed:\n{reply[1]}"
+                        )
+                    self._handle_reply(worker, reply)
+        except OSError:
+            return False
+        return True
+
     # -- worker-reply collection -------------------------------------------
 
-    def _collect(self, request: Tuple, reply_tag: str) -> List[Dict[str, Any]]:
+    def _collect(self, request: Tuple, reply_tag: str) -> List[Any]:
         """Ship one request to every worker and gather the tagged
         replies, servicing interleaved event batches on the way."""
         workers = self._ensure_workers()
         self._flush_all()
+        # Settle any in-flight recovery snapshots first, so a "state"
+        # reply below can only belong to this collection.
         for worker in workers:
-            worker.send(request)
-        payloads: List[Dict[str, Any]] = []
+            while worker.snapshot_mark is not None:
+                self._handle_reply(worker, self._next_reply(worker))
+        frame = wire.encode(request)
+        for worker in workers:
+            self._send_request(worker, frame)
+        payloads: List[Any] = []
         for worker in workers:
             while True:
-                reply = worker.next_reply()
+                reply = self._next_reply(worker, resend=frame)
                 if reply[0] == reply_tag:
+                    worker.outstanding -= 1
+                    worker.failures = 0
                     payloads.append(reply[1])
                     break
                 self._handle_reply(worker, reply)
@@ -798,14 +1200,27 @@ class ShardedBackend(ExecutionBackend):
         if self._drained is not None:
             return self._drained
         payloads = self._collect(("drain",), "drain")
-        solutions_by_key: Dict[Tuple, Optional[Dict[str, Any]]] = {}
-        for payload in payloads:
-            self._deliver(payload["events"])
-            for key_payload, solution_payload in payload["problems"]:
-                key = problem_key_from_dict(key_payload)
-                solutions_by_key[_key_id(key)] = solution_payload
+        for worker in self._workers:
+            worker.request_stop()   # workers exit while the parent merges
+        # Keyed on the (frozen, hashable) ProblemKey objects themselves:
+        # the unpickled worker keys equal the tracker's, and enum fields
+        # resolve to the same singletons — no id-tuple re-derivation.
+        solutions_by_key: Dict[ProblemKey, Optional[Any]] = {}
+        counter_payloads = []
+        for worker, payload in zip(self._workers, payloads):
+            events, problems, stats, confirmed, identifications = payload
+            self._deliver(worker, events)
+            for key, solution in problems:
+                solutions_by_key[key] = solution
+            counter_payloads.append(
+                {
+                    "stats": stats,
+                    "confirmed": confirmed,
+                    "identifications": identifications,
+                }
+            )
         merged_stats, _, identification_payloads = self._merge_counters(
-            payloads
+            counter_payloads
         )
         self._merged_stats = merged_stats
         self._merged_identifications = _merge_identifications(
@@ -816,15 +1231,16 @@ class ShardedBackend(ExecutionBackend):
         # consumers (reduction fractions) are contractually tied to.
         solutions = []
         groups: Dict[ProblemKey, List[Observation]] = {}
-        for bucket in self._tracker.order:
-            key = self._tracker.keys[bucket]
-            key_id = _key_id(key)
-            if key_id not in solutions_by_key:
+        tracker = self._tracker
+        missing = object()
+        for bucket in tracker.order:
+            key = tracker.keys[bucket]
+            solution = solutions_by_key.get(key, missing)
+            if solution is missing:
                 raise BackendError(f"no shard reported problem {key}")
-            solution_payload = solutions_by_key[key_id]
-            if solution_payload is not None:
-                solutions.append(solution_from_dict(solution_payload))
-            groups[key] = self._tracker.groups[bucket]
+            if solution is not None:
+                solutions.append(solution)
+            groups[key] = tracker.groups[bucket]
         self._drained = assemble_result(
             solutions, groups, self._discard, self.context.country_by_asn
         )
@@ -869,12 +1285,20 @@ class ShardedBackend(ExecutionBackend):
         watermark is the global one (for an in-order stream every shard's
         future is at or past it).  Worker counters merge additively on
         top of any restored baseline; drain bytes never depend on them.
+
+        As a side effect, each shard's reply becomes its new recovery
+        baseline (it covers every frame sent so far), truncating the
+        replay log for free.
         """
         if self._drained is not None:
             raise RuntimeError(
                 "backend already drained; checkpoint before drain()"
             )
         payloads = self._collect(("state",), "state")
+        for worker, shard_state in zip(self._workers, payloads):
+            worker.baseline = shard_state
+            worker.log.clear()
+            worker.chunks_since_snapshot = 0
         problems_by_key: Dict[Tuple, Dict[str, Any]] = {}
         max_sequence = 0
         for shard_state in payloads:
@@ -958,6 +1382,9 @@ class ShardedBackend(ExecutionBackend):
         reopens after a restore decrement real counts, and the per-shard
         sums reported at drain/state stay exact without a parent-side
         baseline.
+
+        Each slice doubles as the shard's recovery baseline: a worker
+        that dies later restarts from it plus the replay log.
         """
         assert self._workers is not None
         slices: List[List[Dict[str, Any]]] = [
@@ -968,32 +1395,20 @@ class ShardedBackend(ExecutionBackend):
                 entry["key"]["url"], entry["key"]["anomaly"], self.shards
             )
             slices[shard].append(entry)
-        zero_stats = StreamStats().as_dict()
         for worker, problems in zip(self._workers, slices):
-            worker.send(
-                (
-                    "restore",
-                    {
-                        "format": STATE_FORMAT,
-                        "watermark": state["watermark"],
-                        "sequence": 0,
-                        "last_measurement_id": None,
-                        "stats": dict(zero_stats),
-                        "discard": {
-                            "total": 0,
-                            "converted": 0,
-                            "discarded_by_reason": {},
-                        },
-                        "confirmed": _confirmed_from_problems(problems),
-                        "identifications": [],
-                        "problems": problems,
-                    },
-                )
+            shard_slice = state_slice(
+                problems,
+                watermark=state["watermark"],
+                confirmed=_confirmed_from_problems(problems),
             )
-            worker.outstanding += 1
+            worker.baseline = shard_slice
+            worker.log.clear()
+            worker.delivered_seq = 0
+            worker.chunks_since_snapshot = 0
+            self._send_request(worker, wire.encode(("restore", shard_slice)))
         for worker in self._workers:
             while worker.outstanding > 0:
-                self._handle_reply(worker, worker.next_reply())
+                self._handle_reply(worker, self._next_reply(worker))
 
     # -- reporting ---------------------------------------------------------
 
@@ -1087,5 +1502,6 @@ __all__ = [
     "InlineBackend",
     "ShardedBackend",
     "backend_for",
+    "run_shard_worker",
     "shard_of",
 ]

@@ -28,6 +28,10 @@ BACKEND_INLINE = "inline"
 BACKEND_SHARDED = "sharded"
 BACKENDS = (BACKEND_INLINE, BACKEND_SHARDED)
 
+TRANSPORT_PIPE = "pipe"
+TRANSPORT_SOCKET = "socket"
+TRANSPORTS = (TRANSPORT_PIPE, TRANSPORT_SOCKET)
+
 
 @dataclass(frozen=True)
 class ExecutionPolicy:
@@ -38,6 +42,28 @@ class ExecutionPolicy:
     across ``shards`` worker processes by the bucket key.  ``workers`` /
     ``timeout`` govern sweep fan-out (per-job processes), exactly as the
     runner CLI's flags did.
+
+    ``transport`` picks how shard frames travel: ``pipe`` forks local
+    workers over multiprocessing pipes; ``socket`` runs the same wire
+    protocol over TCP.  With ``socket`` and no ``shard_hosts``, the
+    parent binds ephemeral localhost ports and spawns its own connecting
+    workers (same-host TCP — the smoke-testable shape).  With
+    ``shard_hosts`` (one ``host:port`` *listen* address per shard), the
+    parent binds those addresses and waits ``connect_timeout`` seconds
+    for external ``repro-runner shard-worker --connect`` processes.
+
+    ``recovery`` keeps a dead shard from failing the stream: the parent
+    respawns (pipe) or re-accepts (socket) the worker and rebuilds it
+    from its last checkpoint slice plus a frame-replay log.
+    ``shard_checkpoint_every`` bounds that log by snapshotting each
+    shard's engine state every N chunks (0 = never snapshot: recovery
+    replays from the stream's start, or from the last session-level
+    restore/checkpoint).  The default-0 log retains one compact encoded
+    copy of every chunk sent — a small fraction of the observation
+    groups the parent already holds for the merged drain, but on very
+    long campaigns set a snapshot cadence (each snapshot costs one
+    full engine-state export for that shard) or checkpoint the session
+    periodically, either of which truncates the log.
     """
 
     backend: str = BACKEND_INLINE
@@ -46,6 +72,11 @@ class ExecutionPolicy:
     workers: int = 1               # sweep: concurrent job processes
     timeout: Optional[float] = None  # sweep: per-job seconds
     late_policy: str = LATE_REOPEN
+    transport: str = TRANSPORT_PIPE
+    shard_hosts: Tuple[str, ...] = ()  # socket: per-shard listen addresses
+    connect_timeout: float = 30.0      # socket: accept/reconnect seconds
+    recovery: bool = True              # respawn dead shards from checkpoints
+    shard_checkpoint_every: int = 0    # chunks between recovery snapshots
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -60,13 +91,37 @@ class ExecutionPolicy:
             raise ValueError("workers must be positive")
         if self.late_policy not in (LATE_REOPEN, LATE_ERROR):
             raise ValueError(f"unknown late policy: {self.late_policy!r}")
+        if self.transport not in TRANSPORTS:
+            raise ValueError(
+                f"transport must be one of {TRANSPORTS}, got "
+                f"{self.transport!r}"
+            )
+        if self.shard_hosts:
+            if self.transport != TRANSPORT_SOCKET:
+                raise ValueError(
+                    "shard_hosts requires transport='socket'"
+                )
+            if len(self.shard_hosts) != self.shards:
+                raise ValueError(
+                    f"shard_hosts needs one listen address per shard "
+                    f"({self.shards}), got {len(self.shard_hosts)}"
+                )
+        if self.connect_timeout <= 0:
+            raise ValueError("connect_timeout must be positive")
+        if self.shard_checkpoint_every < 0:
+            raise ValueError("shard_checkpoint_every must be >= 0")
 
     def to_dict(self) -> Dict[str, Any]:
-        return dataclasses.asdict(self)
+        payload = dataclasses.asdict(self)
+        payload["shard_hosts"] = list(self.shard_hosts)
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Dict[str, Any]) -> "ExecutionPolicy":
-        return cls(**payload)
+        kwargs = dict(payload)
+        if "shard_hosts" in kwargs:
+            kwargs["shard_hosts"] = tuple(kwargs["shard_hosts"])
+        return cls(**kwargs)
 
 
 @dataclass(frozen=True)
@@ -180,6 +235,9 @@ __all__ = [
     "BACKENDS",
     "BACKEND_INLINE",
     "BACKEND_SHARDED",
+    "TRANSPORTS",
+    "TRANSPORT_PIPE",
+    "TRANSPORT_SOCKET",
     "ExecutionPolicy",
     "SessionConfig",
 ]

@@ -1,0 +1,233 @@
+"""Shard transports: the duplex byte channel under the wire protocol.
+
+The sharded backend's parent/worker conversation is a sequence of frames
+(:mod:`repro.api.wire`).  A :class:`ShardTransport` moves those frames
+without caring what is in them:
+
+- :class:`PipeTransport` — a :mod:`multiprocessing` duplex pipe to a
+  forked worker on the same host (the original deployment shape);
+- :class:`SocketTransport` — length-prefixed frames over a TCP socket,
+  so a worker can be a separate process on another machine entirely
+  (``repro-runner shard-worker --connect host:port``).
+
+The parent side of a socket shard is a :class:`ShardListener`: one bound
+listening socket per shard, kept open for the shard's whole life so a
+replacement worker can reconnect after a crash (dead-shard recovery
+re-accepts on the same address).  ``host:port`` strings are the one
+address syntax everywhere; port ``0`` asks the kernel for an ephemeral
+port (the bound address is readable back off the listener — how tests
+run two worker fleets on localhost without colliding).
+"""
+
+from __future__ import annotations
+
+import abc
+import socket
+import struct
+import time
+from typing import Optional, Tuple
+
+from repro.api import wire
+
+# Length prefix: 4 bytes, big-endian — a single frame beyond 4 GiB is a
+# protocol bug, not a workload.
+_LENGTH = struct.Struct(">I")
+
+
+class TransportError(RuntimeError):
+    """A transport could not be established (connect/accept failed)."""
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """``host:port`` → ``(host, port)``; the only address syntax used."""
+    host, separator, port = address.rpartition(":")
+    if not separator or not host:
+        raise ValueError(
+            f"shard address must be host:port, got {address!r}"
+        )
+    try:
+        return host, int(port)
+    except ValueError:
+        raise ValueError(
+            f"shard address must be host:port, got {address!r}"
+        ) from None
+
+
+class ShardTransport(abc.ABC):
+    """One duplex frame channel between a shard parent and one worker."""
+
+    @abc.abstractmethod
+    def send_bytes(self, data: bytes) -> None:
+        """Ship one frame; raises OSError when the peer is gone."""
+
+    @abc.abstractmethod
+    def recv_bytes(self) -> bytes:
+        """Block for one frame; raises EOFError when the peer is gone."""
+
+    @abc.abstractmethod
+    def close(self) -> None:
+        """Release the channel (idempotent)."""
+
+    # -- framed message conveniences --------------------------------------
+
+    def send(self, message: Tuple) -> None:
+        self.send_bytes(wire.encode(message))
+
+    def recv(self) -> Tuple:
+        return wire.decode(self.recv_bytes())
+
+
+class PipeTransport(ShardTransport):
+    """A multiprocessing duplex pipe (same-host forked worker)."""
+
+    def __init__(self, conn) -> None:
+        self._conn = conn
+
+    def send_bytes(self, data: bytes) -> None:
+        self._conn.send_bytes(data)
+
+    def recv_bytes(self) -> bytes:
+        # Connection.recv_bytes raises EOFError on a closed peer already.
+        return self._conn.recv_bytes()
+
+    def close(self) -> None:
+        try:
+            self._conn.close()
+        except OSError:
+            pass
+
+
+class SocketTransport(ShardTransport):
+    """Length-prefixed frames over one connected TCP socket."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+        # Blocking mode, explicitly: a timeout left over from connect()
+        # would turn any >timeout idle gap in the frame stream (a slow
+        # drip-feed source, a parent busy merging) into a spurious
+        # EOFError and kill the worker.
+        sock.settimeout(None)
+        self._sock = sock
+
+    def send_bytes(self, data: bytes) -> None:
+        self._sock.sendall(_LENGTH.pack(len(data)) + data)
+
+    def recv_bytes(self) -> bytes:
+        header = self._recv_exact(_LENGTH.size)
+        (length,) = _LENGTH.unpack(header)
+        return self._recv_exact(length)
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except OSError as exc:
+                raise EOFError(f"socket closed mid-frame: {exc}") from exc
+            if not chunk:
+                raise EOFError("peer closed the connection")
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks) if len(chunks) != 1 else chunks[0]
+
+    def close(self) -> None:
+        try:
+            self._sock.shutdown(socket.SHUT_RDWR)
+        except OSError:
+            pass
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+class ShardListener:
+    """One shard's listening socket, owned by the parent.
+
+    Stays bound for the shard's whole life: the first ``accept`` pairs
+    the shard with its worker, and after a worker death the parent
+    re-accepts a replacement on the same address (which is what the
+    ``shard-worker`` CLI's connect retry loop dials back into).
+    """
+
+    def __init__(self, address: str) -> None:
+        host, port = parse_address(address)
+        self._sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+        self._sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        try:
+            self._sock.bind((host, port))
+        except OSError as exc:
+            self._sock.close()
+            raise TransportError(
+                f"cannot listen on {address!r}: {exc}"
+            ) from exc
+        self._sock.listen(4)
+        self.host, self.port = self._sock.getsockname()[:2]
+
+    @property
+    def address(self) -> str:
+        """The bound ``host:port`` (real port even when asked for 0)."""
+        return f"{self.host}:{self.port}"
+
+    def accept(self, timeout: Optional[float]) -> SocketTransport:
+        """Block for one worker connection; TransportError on timeout."""
+        self._sock.settimeout(timeout)
+        try:
+            conn, _ = self._sock.accept()
+        except socket.timeout:
+            raise TransportError(
+                f"no shard worker connected to {self.address} within "
+                f"{timeout}s"
+            ) from None
+        except OSError as exc:
+            raise TransportError(
+                f"accept failed on {self.address}: {exc}"
+            ) from exc
+        finally:
+            self._sock.settimeout(None)
+        return SocketTransport(conn)
+
+    def close(self) -> None:
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def connect_worker(
+    address: str, retry_for: float = 30.0
+) -> SocketTransport:
+    """Dial a shard parent's listener, retrying until ``retry_for``.
+
+    The retry loop is what makes operator-driven recovery a one-liner:
+    restart ``repro-runner shard-worker --connect host:port`` and it
+    keeps dialing until the parent re-listens (or the deadline passes).
+    """
+    host, port = parse_address(address)
+    deadline = time.monotonic() + retry_for
+    delay = 0.05
+    while True:
+        try:
+            return SocketTransport(
+                socket.create_connection((host, port), timeout=10.0)
+            )
+        except OSError as exc:
+            if time.monotonic() >= deadline:
+                raise TransportError(
+                    f"cannot connect to shard parent at {address!r}: "
+                    f"{exc}"
+                ) from exc
+            time.sleep(delay)
+            delay = min(delay * 2, 1.0)
+
+
+__all__ = [
+    "ShardTransport",
+    "PipeTransport",
+    "SocketTransport",
+    "ShardListener",
+    "TransportError",
+    "connect_worker",
+    "parse_address",
+]

@@ -1,0 +1,269 @@
+"""Compact batched wire protocol shared by shard parents and workers.
+
+The first shard protocol shipped one pickled dict per observation and
+per verdict event.  Pickle memoizes the repeated key strings, but the
+dict building/teardown on both sides of the boundary — plus the
+per-message framing — dominated the pipe at campaign scale (the
+ROADMAP's "serialization dominates" item): the 4-worker sharded drain
+only broke even with single-threaded ingest around ~6k observations.
+
+This codec is the fix, borrowing the shape of batched work units from
+SAT accelerator host interfaces: hot-path payloads (observation chunks,
+verdict-event batches, drain problem lists) are encoded as flat tuples
+— position, not keys — and a whole chunk travels as **one frame**.  A
+frame is ``encode()``'s bytes; transports add their own length prefix
+(:mod:`repro.api.transport`), so the same frame bytes flow over a
+multiprocessing pipe or a TCP socket unchanged, and the parent can keep
+encoded frames verbatim in its per-shard replay log for dead-shard
+recovery.
+
+Control-plane payloads (engine-state slices for restore/checkpoint)
+stay in the :mod:`repro.stream.checkpoint` dict format — they are rare,
+and sharing that format is what lets shard recovery reuse session
+checkpoints directly.
+
+``WIRE_FORMAT`` versions the whole vocabulary; socket peers exchange it
+in the hello frame and refuse mismatched builds instead of
+mis-decoding.
+"""
+
+from __future__ import annotations
+
+import pickle
+from typing import Any, Dict, Optional, Tuple
+
+from repro.anomaly import Anomaly
+from repro.core.observations import Observation
+from repro.core.problem import ProblemSolution, SolutionStatus
+from repro.core.splitting import Granularity, ProblemKey
+from repro.stream.events import VerdictEvent, VerdictKind
+from repro.util.timeutil import TimeWindow
+
+WIRE_FORMAT = 1
+
+_PROTOCOL = pickle.HIGHEST_PROTOCOL
+
+# Index of the shard-local sequence inside an event tuple — the parent's
+# recovery dedup filters on it without decoding the whole event.
+EVENT_SEQUENCE_INDEX = 2
+
+# Enum lookups by value go through EnumType.__call__ — far too slow for
+# a per-observation decode path.  Plain dict lookups instead.
+_ANOMALY_BY_VALUE = {member.value: member for member in Anomaly}
+_GRANULARITY_BY_VALUE = {member.value: member for member in Granularity}
+
+
+class WireFormatError(RuntimeError):
+    """Peer speaks a different wire-format version (or not at all)."""
+
+
+# -- framing ----------------------------------------------------------------
+
+
+def encode(message: Tuple) -> bytes:
+    """One protocol message as one frame's payload bytes."""
+    return pickle.dumps(message, _PROTOCOL)
+
+
+def decode(data: bytes) -> Tuple:
+    """Inverse of :func:`encode`."""
+    return pickle.loads(data)
+
+
+# -- observations ------------------------------------------------------------
+
+
+def observation_to_wire(
+    observation: Observation, anomaly_value: Optional[str] = None
+) -> Tuple:
+    """One observation as a flat tuple (no keys on the wire).
+
+    ``anomaly_value`` lets a hot loop that already resolved the enum's
+    ``.value`` (a descriptor call) pass it in — there is exactly one
+    encoder for the layout either way."""
+    return (
+        observation.url,
+        anomaly_value if anomaly_value is not None
+        else observation.anomaly.value,
+        observation.detected,
+        observation.as_path,
+        observation.timestamp,
+        observation.measurement_id,
+    )
+
+
+def observation_from_wire(payload: Tuple) -> Observation:
+    return Observation(
+        url=payload[0],
+        anomaly=_ANOMALY_BY_VALUE[payload[1]],
+        detected=payload[2],
+        as_path=tuple(payload[3]),
+        timestamp=payload[4],
+        measurement_id=payload[5],
+    )
+
+
+# -- problem keys ------------------------------------------------------------
+
+
+def key_to_wire(key: ProblemKey) -> Tuple[str, str, str, int, int]:
+    return (
+        key.url,
+        key.anomaly.value,
+        key.granularity.value,
+        key.window.start,
+        key.window.end,
+    )
+
+
+def key_from_wire(payload: Tuple) -> ProblemKey:
+    return ProblemKey(
+        url=payload[0],
+        anomaly=_ANOMALY_BY_VALUE[payload[1]],
+        granularity=_GRANULARITY_BY_VALUE[payload[2]],
+        window=TimeWindow(payload[3], payload[4]),
+    )
+
+
+# -- solutions ---------------------------------------------------------------
+
+
+def solution_to_wire(solution: ProblemSolution) -> Tuple:
+    return (
+        key_to_wire(solution.key),
+        solution.status.value,
+        solution.num_solutions,
+        solution.capped,
+        tuple(solution.observed_ases),
+        tuple(solution.censors),
+        tuple(solution.potential_censors),
+        tuple(solution.eliminated),
+        solution.clause_count,
+        solution.positive_clause_count,
+    )
+
+
+def solution_from_wire(payload: Tuple) -> ProblemSolution:
+    return ProblemSolution(
+        key=key_from_wire(payload[0]),
+        status=SolutionStatus(payload[1]),
+        num_solutions=payload[2],
+        capped=payload[3],
+        observed_ases=frozenset(payload[4]),
+        censors=frozenset(payload[5]),
+        potential_censors=frozenset(payload[6]),
+        eliminated=frozenset(payload[7]),
+        clause_count=payload[8],
+        positive_clause_count=payload[9],
+    )
+
+
+# -- verdict events ----------------------------------------------------------
+
+
+def event_to_wire(event: VerdictEvent) -> Tuple:
+    """One verdict event as a flat tuple.
+
+    Index ``EVENT_SEQUENCE_INDEX`` carries the emitting engine's *local*
+    sequence counter — the recovery dedup key."""
+    return (
+        event.kind.value,
+        key_to_wire(event.key),
+        event.sequence,
+        event.timestamp,
+        event.observations_ingested,
+        event.measurements_ingested,
+        (
+            solution_to_wire(event.solution)
+            if event.solution is not None
+            else None
+        ),
+        event.asn,
+        event.previous_status,
+        (
+            tuple(event.candidates)
+            if event.candidates is not None
+            else None
+        ),
+    )
+
+
+def event_from_wire(payload: Tuple) -> VerdictEvent:
+    return VerdictEvent(
+        kind=VerdictKind(payload[0]),
+        key=key_from_wire(payload[1]),
+        sequence=payload[2],
+        timestamp=payload[3],
+        observations_ingested=payload[4],
+        measurements_ingested=payload[5],
+        solution=(
+            solution_from_wire(payload[6])
+            if payload[6] is not None
+            else None
+        ),
+        asn=payload[7],
+        previous_status=payload[8],
+        candidates=(
+            frozenset(payload[9]) if payload[9] is not None else None
+        ),
+    )
+
+
+# -- hello handshake ---------------------------------------------------------
+
+
+def hello_frame(
+    shard_index: int,
+    config_payload: Dict[str, Any],
+    want_events: bool,
+) -> Tuple:
+    """The parent's first frame on any transport: protocol version plus
+    everything a worker needs to build its engine."""
+    return ("hello", WIRE_FORMAT, shard_index, config_payload, want_events)
+
+
+def check_hello(message: Tuple) -> Tuple[int, Dict[str, Any], bool]:
+    """Validate a hello frame; returns (shard_index, config, want_events)."""
+    if not message or message[0] != "hello":
+        raise WireFormatError(
+            f"expected a hello frame, got {message[:1]!r}"
+        )
+    if message[1] != WIRE_FORMAT:
+        raise WireFormatError(
+            f"peer speaks wire format {message[1]!r}; this build speaks "
+            f"{WIRE_FORMAT}"
+        )
+    return message[2], message[3], message[4]
+
+
+def check_hello_ack(message: Tuple) -> None:
+    """Validate a worker's hello reply."""
+    if not message or message[0] != "hello":
+        raise WireFormatError(
+            f"expected a hello ack, got {message[:1]!r}"
+        )
+    if message[1] != WIRE_FORMAT:
+        raise WireFormatError(
+            f"worker speaks wire format {message[1]!r}; this build "
+            f"speaks {WIRE_FORMAT}"
+        )
+
+
+__all__ = [
+    "WIRE_FORMAT",
+    "EVENT_SEQUENCE_INDEX",
+    "WireFormatError",
+    "encode",
+    "decode",
+    "observation_to_wire",
+    "observation_from_wire",
+    "key_to_wire",
+    "key_from_wire",
+    "solution_to_wire",
+    "solution_from_wire",
+    "event_to_wire",
+    "event_from_wire",
+    "hello_frame",
+    "check_hello",
+    "check_hello_ack",
+]

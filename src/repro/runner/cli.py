@@ -15,7 +15,14 @@ Subcommands:
 - ``stream`` — run a campaign through the online streaming localizer
   (:mod:`repro.stream`), printing verdicts as they tighten; ``--replay``
   re-streams a persisted sweep's jobs and verifies each against its
-  stored batch record.
+  stored batch record;
+- ``shard-worker`` — one remote shard of a socket-transport
+  :class:`~repro.api.backends.ShardedBackend`: connects to the parent
+  session's per-shard listen address and serves the wire protocol until
+  the parent stops it.  Run one per address in the parent's
+  ``ExecutionPolicy(transport="socket", shard_hosts=[...])``; after a
+  crash, simply run it again — the parent re-accepts on the same
+  address and rebuilds the shard from its checkpoint slice.
 """
 
 from __future__ import annotations
@@ -202,9 +209,36 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="N",
         help="worker processes for --backend sharded (default: 2)",
     )
+    stream.add_argument(
+        "--transport",
+        default="pipe",
+        choices=("pipe", "socket"),
+        help=(
+            "shard transport: forked pipe workers, or TCP socket "
+            "workers (default: pipe)"
+        ),
+    )
     stream.add_argument("--events", type=int, default=10, metavar="N")
     stream.add_argument("--verify", action="store_true")
     stream.add_argument("--json", action="store_true")
+
+    shard_worker = subparsers.add_parser(
+        "shard-worker",
+        help="serve one socket-transport shard for a remote session",
+    )
+    shard_worker.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="the parent session's listen address for this shard",
+    )
+    shard_worker.add_argument(
+        "--retry-for",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="keep dialing this long before giving up (default: 30)",
+    )
     return parser
 
 
@@ -505,6 +539,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             json_mode=args.json,
             backend=args.backend,
             shards=args.shards,
+            transport=args.transport,
         )
     job = JobSpec(
         preset=args.preset,
@@ -520,7 +555,23 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         json_mode=args.json,
         backend=args.backend,
         shards=args.shards,
+        transport=args.transport,
     )
+
+
+def _cmd_shard_worker(args: argparse.Namespace) -> int:
+    # Deferred imports: the worker pulls in the engine stack.
+    from repro.api.backends import run_shard_worker
+    from repro.api.transport import TransportError, connect_worker
+
+    try:
+        transport = connect_worker(args.connect, retry_for=args.retry_for)
+    except (TransportError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    print(f"shard worker serving {args.connect}")
+    run_shard_worker(transport)
+    return 0
 
 
 _COMMANDS = {
@@ -530,6 +581,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "perf": _cmd_perf,
     "stream": _cmd_stream,
+    "shard-worker": _cmd_shard_worker,
 }
 
 

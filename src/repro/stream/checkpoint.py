@@ -18,9 +18,12 @@ The guarantee the property tests pin: for an in-order stream,
 drains to a :class:`PipelineResult` byte-identical to the uninterrupted
 run.  The solve cache and conversion memos are deliberately *not*
 serialized — they are perf memos whose absence changes wall time, never
-bytes.  ``last_solution`` snapshots are not serialized either: the first
-post-restore verdict event for a problem reports ``previous_status``
-as ``None``, but event payloads never feed the drained result.
+bytes.  Each problem's ``last_solution`` verdict snapshot *is* carried
+(the ``verdict`` entry, absent/None in historical checkpoints): it is
+what the event-delta detection compares against, so restoring it makes
+the post-restore event stream — kinds, ``previous_status``, sequences —
+identical to the uninterrupted run's, which is the property the sharded
+backend's dead-shard recovery dedups replayed events by.
 
 For out-of-order streams one caveat applies: the close order of two
 still-open windows sharing an end timestamp is creation order after a
@@ -102,10 +105,44 @@ def identification_from_dict(payload: Dict[str, Any]) -> CensorIdentification:
     )
 
 
+def state_slice(
+    problems: List[Dict[str, Any]],
+    watermark: Optional[int] = None,
+    sequence: int = 0,
+    confirmed: Optional[Dict[str, int]] = None,
+    identifications: Optional[List[Dict[str, Any]]] = None,
+    stats: Optional[Dict[str, int]] = None,
+) -> Dict[str, Any]:
+    """A partial engine state in the :data:`STATE_FORMAT` layout.
+
+    The sharded backend's restore/recovery paths ship each worker a
+    *slice* of a merged state — its own problems plus whichever counters
+    make sense for the slice (zeroed by default).  Building the document
+    here keeps every producer of the format in one module.
+    """
+    return {
+        "format": STATE_FORMAT,
+        "watermark": watermark,
+        "sequence": sequence,
+        "last_measurement_id": None,
+        "stats": dict(stats) if stats is not None else StreamStats().as_dict(),
+        "discard": discard_to_dict(DiscardStats()),
+        "confirmed": dict(confirmed) if confirmed is not None else {},
+        "identifications": (
+            list(identifications) if identifications is not None else []
+        ),
+        "problems": problems,
+    }
+
+
 def engine_state(engine: StreamingLocalizer) -> Dict[str, Any]:
     """The engine's full resumable state as a JSON-compatible dict."""
     problems: List[Dict[str, Any]] = []
-    for key, observations, closed, solution in engine.problem_records():
+    records = engine.problem_records()
+    for bucket, (key, observations, closed, solution) in zip(
+        engine._order, records
+    ):
+        verdict = engine._states[bucket].last_solution
         problems.append(
             {
                 "key": problem_key_to_dict(key),
@@ -117,6 +154,11 @@ def engine_state(engine: StreamingLocalizer) -> Dict[str, Any]:
                 "solution": (
                     solution_to_dict(solution)
                     if solution is not None
+                    else None
+                ),
+                "verdict": (
+                    solution_to_dict(verdict)
+                    if verdict is not None
                     else None
                 ),
             }
@@ -171,6 +213,9 @@ def restore_engine(
         problem = ProblemState(key, config.solution_cap)
         for payload in entry["observations"]:
             problem.add(observation_from_dict(payload))
+        verdict = entry.get("verdict")
+        if verdict is not None:
+            problem.last_solution = solution_from_dict(verdict)
         engine._states[bucket] = problem
         engine._keys[bucket] = key
         engine._order.append(bucket)
@@ -204,6 +249,7 @@ __all__ = [
     "STATE_FORMAT",
     "engine_state",
     "restore_engine",
+    "state_slice",
     "discard_to_dict",
     "discard_from_dict",
     "identification_to_dict",

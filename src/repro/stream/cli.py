@@ -12,7 +12,9 @@ A thin shell over :class:`repro.api.LocalizationSession`.  Two modes:
   stored batch record when its result sidecar is present.
 
 ``--backend sharded --shards N`` runs the same workload partitioned
-across N worker processes (drain stays byte-identical); ``--verify``
+across N worker processes (drain stays byte-identical) — over forked
+pipes by default, or over localhost TCP with ``--transport socket``
+(the same wire protocol remote shard workers speak); ``--verify``
 additionally runs the batch pipeline over the same campaign and checks
 byte equality; ``--json`` switches all output to one machine-readable
 document.
@@ -90,6 +92,15 @@ def build_parser() -> argparse.ArgumentParser:
         help="worker processes for --backend sharded (default: 2)",
     )
     parser.add_argument(
+        "--transport",
+        default="pipe",
+        choices=("pipe", "socket"),
+        help=(
+            "shard transport for --backend sharded: forked pipe "
+            "workers, or TCP socket workers (default: pipe)"
+        ),
+    )
+    parser.add_argument(
         "--events",
         type=int,
         default=DEFAULT_EVENT_LIMIT,
@@ -141,10 +152,13 @@ def job_from_args(args: argparse.Namespace) -> JobSpec:
 
 
 def _session_config(
-    job: JobSpec, backend: str, shards: int
+    job: JobSpec, backend: str, shards: int, transport: str = "pipe"
 ) -> SessionConfig:
     return SessionConfig.from_job(
-        job, execution=ExecutionPolicy(backend=backend, shards=shards)
+        job,
+        execution=ExecutionPolicy(
+            backend=backend, shards=shards, transport=transport
+        ),
     )
 
 
@@ -251,9 +265,12 @@ def run_fresh(
     json_mode: bool = False,
     backend: str = BACKEND_INLINE,
     shards: int = 2,
+    transport: str = "pipe",
 ) -> int:
     """Fresh mode: build the world, drip-stream its campaign, report."""
-    session = LocalizationSession(_session_config(job, backend, shards))
+    session = LocalizationSession(
+        _session_config(job, backend, shards, transport)
+    )
     _subscribe_for_output(session, event_limit, json_mode)
     world = session.world
     if not json_mode:
@@ -290,6 +307,7 @@ def run_replay(
     json_mode: bool = False,
     backend: str = BACKEND_INLINE,
     shards: int = 2,
+    transport: str = "pipe",
 ) -> int:
     """Replay mode: stream every job of a persisted sweep, verifying."""
     store = ResultStore(store_dir)
@@ -300,7 +318,9 @@ def run_replay(
     for job in jobs:
         if not json_mode:
             print(f"replaying {job.label} ...")
-        session = LocalizationSession(_session_config(job, backend, shards))
+        session = LocalizationSession(
+            _session_config(job, backend, shards, transport)
+        )
         _subscribe_for_output(session, event_limit, json_mode)
         outcome = session.replay_stored(store, job)
         world = outcome.world
@@ -345,6 +365,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 json_mode=args.json,
                 backend=args.backend,
                 shards=args.shards,
+                transport=args.transport,
             )
         return run_fresh(
             job_from_args(args),
@@ -353,6 +374,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             json_mode=args.json,
             backend=args.backend,
             shards=args.shards,
+            transport=args.transport,
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

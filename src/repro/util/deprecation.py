@@ -4,22 +4,60 @@ Old entry points superseded by :mod:`repro.api` keep working but emit one
 :class:`DeprecationWarning` per process the first time they are called —
 loud enough to steer migrations, quiet enough not to flood a sweep that
 calls a shim thousands of times.
+
+The warning must point at the *shim's caller* — the line a user needs to
+migrate — not at the shim or this module.  Shims sit at different call
+depths (some warn straight from the deprecated function, some from a
+nested helper or a delegating wrapper), so no single hardcoded
+``stacklevel`` is right for all of them; by default the level is computed
+by walking the stack past this module and past every consecutive frame of
+the shim's own module.
 """
 
 from __future__ import annotations
 
+import sys
 import warnings
-from typing import Set
+from typing import Optional, Set
 
 _warned: Set[str] = set()
 
 
-def warn_once(key: str, message: str, stacklevel: int = 3) -> bool:
+def _caller_stacklevel() -> int:
+    """The ``stacklevel`` (relative to :func:`warn_once`'s ``warn`` call)
+    of the first frame outside this module and the shim's module."""
+    own_file = __file__
+    # Frame 0: this helper; 1: warn_once; 2: the shim function.
+    try:
+        frame = sys._getframe(2)
+    except ValueError:  # pragma: no cover - no caller (interactive edge)
+        return 2
+    shim_file = frame.f_code.co_filename
+    level = 2
+    while frame is not None and frame.f_code.co_filename in (
+        own_file,
+        shim_file,
+    ):
+        frame = frame.f_back
+        level += 1
+    return level
+
+
+def warn_once(
+    key: str, message: str, stacklevel: Optional[int] = None
+) -> bool:
     """Emit ``message`` as a DeprecationWarning the first time ``key`` is
-    seen this process; return True when the warning actually fired."""
+    seen this process; return True when the warning actually fired.
+
+    With ``stacklevel=None`` (the default) the warning is attributed to
+    the first stack frame outside the calling shim's module — correct at
+    any shim call depth.  Pass an explicit level only to override that.
+    """
     if key in _warned:
         return False
     _warned.add(key)
+    if stacklevel is None:
+        stacklevel = _caller_stacklevel()
     warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
     return True
 

@@ -740,3 +740,53 @@ class TestDeprecationShims:
             if issubclass(entry.category, DeprecationWarning)
         ]
         assert len(deprecations) == 1
+
+    def test_warnings_point_at_the_shims_caller(self, tiny_world, tmp_path):
+        """The DeprecationWarning must name the *migration site* — this
+        file — for every shim, whatever the shim's internal call depth."""
+        from repro.stream.sources import engine_for_world, replay_stored_job
+
+        reset_warned()
+        with pytest.warns(DeprecationWarning) as record:
+            engine_for_world(tiny_world)
+        assert record[0].filename == __file__
+
+        job = JobSpec(
+            preset="tiny", seed=9, duration_days=3, num_urls=3,
+            num_vantage_points=4,
+        )
+        store = ResultStore(tmp_path)
+        store.put(run_job(job).record)
+        reset_warned()
+        with pytest.warns(DeprecationWarning) as record:
+            replay_stored_job(store, job)
+        assert record[0].filename == __file__
+
+    def test_warning_attribution_survives_nested_shims(self, tmp_path):
+        """A shim that warns from a nested helper (a deeper call depth
+        than the direct shims) still attributes to its external caller —
+        the case a hardcoded stacklevel cannot cover."""
+        import importlib.util
+        import sys as sys_module
+
+        shim_path = tmp_path / "legacy_shim_module.py"
+        shim_path.write_text(
+            "from repro.util.deprecation import warn_once\n"
+            "def _helper():\n"
+            "    warn_once('test.nested-shim', 'nested shim is deprecated')\n"
+            "def deprecated_entry():\n"
+            "    _helper()\n"
+        )
+        spec = importlib.util.spec_from_file_location(
+            "legacy_shim_module", shim_path
+        )
+        module = importlib.util.module_from_spec(spec)
+        sys_module.modules["legacy_shim_module"] = module
+        try:
+            spec.loader.exec_module(module)
+            reset_warned()
+            with pytest.warns(DeprecationWarning) as record:
+                module.deprecated_entry()
+            assert record[0].filename == __file__
+        finally:
+            del sys_module.modules["legacy_shim_module"]

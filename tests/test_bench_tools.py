@@ -14,6 +14,8 @@ import json
 import sys
 from pathlib import Path
 
+import pytest
+
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
 
@@ -126,3 +128,51 @@ class TestDiffBenchFormats:
         for path in paths:
             means = diff_bench.load_means(path)
             assert means and all(value > 0 for value in means.values())
+
+    def test_cross_format_diff_raw_vs_slimmed(self):
+        """The regression this suite pins: diffing a raw snapshot
+        (BENCH_1, with per-round sample arrays) against a slimmed one
+        (BENCH_2) must produce a numeric Δ row for every benchmark the
+        two share — no silent drops, no crashes, no 'no stats' rows."""
+        old_path = REPO_ROOT / "BENCH_1.json"
+        new_path = REPO_ROOT / "BENCH_2.json"
+        old_payload = json.loads(old_path.read_text())
+        new_payload = json.loads(new_path.read_text())
+        assert "slimmed" not in old_payload      # raw layout
+        assert new_payload.get("slimmed") is True
+        old_means = diff_bench.load_means(old_path)
+        new_means = diff_bench.load_means(new_path)
+        shared = set(old_means) & set(new_means)
+        assert shared
+        rows = {row[0]: row for row in diff_bench.diff_rows(
+            old_means, new_means
+        )}
+        assert set(rows) == set(old_means) | set(new_means)
+        for name in shared:
+            _, old_cell, new_cell, change = rows[name]
+            assert old_cell.endswith(" ms") and new_cell.endswith(" ms")
+            assert change.endswith("%"), (name, change)
+
+    def test_summary_normalization_fallbacks(self):
+        """Benches whose stat keys differ normalize to one schema:
+        mean, else total/rounds, else the raw samples, else a reported
+        (not dropped) 'no stats' row."""
+        assert diff_bench.summarize_bench(
+            {"stats": {"mean": 0.25}}
+        ) == 0.25
+        assert diff_bench.summarize_bench(
+            {"stats": {"total": 1.5, "rounds": 3}}
+        ) == 0.5
+        assert diff_bench.summarize_bench(
+            {"stats": {"data": [0.1, 0.3]}}
+        ) == pytest.approx(0.2)
+        assert diff_bench.summarize_bench({"stats": {}}) is None
+        assert diff_bench.summarize_bench({}) is None
+        rows = diff_bench.diff_rows(
+            {"test_a": 0.5, "test_b": None},
+            {"test_a": None, "test_b": 0.25, "test_c": 0.1},
+        )
+        by_name = {row[0]: row for row in rows}
+        assert by_name["test_a"][3] == "no stats"
+        assert by_name["test_b"][3] == "no stats"
+        assert by_name["test_c"][3] == "added"
