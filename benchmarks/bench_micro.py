@@ -208,6 +208,57 @@ def test_micro_sharded_drain(benchmark, bench_world, bench_dataset,
     )
 
 
+def test_micro_metrics_overhead(benchmark, bench_world, bench_dataset):
+    """Cost of a live metrics registry on the hot ingest path.
+
+    Drains the same 2000-observation slice twice per round — registry
+    attached (engine collector + per-event counters + SAT solve deltas)
+    vs. bare — and reports the relative ingest overhead.  The registry's
+    contract is "zero cost when absent, cheap when present": collectors
+    defer all stats export to scrape time, so the only per-observation
+    cost is the ``_emit`` counter bump.  The tripwire bound is generous
+    (15%) to survive noisy CI machines; the recorded ``overhead_pct``
+    is the budgeted number (<5% on an idle machine).
+    """
+    import time as time_module
+
+    from repro.obs.metrics import MetricsRegistry
+
+    observations, _ = build_observations(bench_dataset, bench_world.ip2as)
+    feed = observations[: min(len(observations), 2000)]
+
+    def drain(registry):
+        engine = StreamingLocalizer(
+            bench_world.ip2as,
+            bench_world.country_by_asn,
+            config=PipelineConfig(),
+            metrics=registry,
+        )
+        engine.subscribe(lambda event: None)
+        for observation in feed:
+            engine.ingest_observation(observation)
+        return engine.drain()
+
+    drain(None)                         # warm caches before timing
+    baseline = min(
+        (lambda t0: (drain(None), time_module.perf_counter() - t0)[1])(
+            time_module.perf_counter()
+        )
+        for _ in range(3)
+    )
+    instrumented = benchmark.pedantic(
+        lambda: drain(MetricsRegistry()), rounds=3, iterations=1
+    )
+    bare = drain(None)
+    assert instrumented.to_dict() == bare.to_dict()
+    mean_seconds = benchmark.stats.stats.mean
+    overhead = mean_seconds / baseline - 1.0
+    assert overhead < 0.15, f"metrics overhead {overhead:.1%}"
+    benchmark.extra_info["observations"] = len(feed)
+    benchmark.extra_info["baseline_ms"] = round(baseline * 1000, 2)
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 2)
+
+
 def test_micro_checkpoint_roundtrip(benchmark, bench_world, bench_dataset):
     """Checkpoint/restore round-trip cost on a loaded engine.
 

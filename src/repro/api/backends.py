@@ -50,6 +50,7 @@ from __future__ import annotations
 import abc
 import queue as queue_module
 import threading
+import time
 import traceback
 import zlib
 from dataclasses import dataclass, field, replace
@@ -69,10 +70,12 @@ from repro.core.pipeline import (
     observation_from_dict,
     problem_key_from_dict,
 )
-from repro.core.problem import SolutionStatus
+from repro.core.problem import SolutionStatus, SolveStats
 from repro.core.splitting import ProblemKey, window_start
 from repro.iclab.dataset import Dataset
 from repro.iclab.measurement import Measurement
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import TraceContext, Tracer
 from repro.stream.checkpoint import (
     STATE_FORMAT,
     discard_from_dict,
@@ -96,6 +99,7 @@ from repro.util.timeutil import TimeWindow
 from repro.api import wire
 from repro.api.config import TRANSPORT_SOCKET, SessionConfig
 from repro.api.transport import (
+    _CODEC_BUCKETS,
     PipeTransport,
     ShardListener,
     ShardTransport,
@@ -133,6 +137,10 @@ class BackendContext:
     ip2as: Any                      # IpToAsDatabase; None for replay-only
     country_by_asn: Dict[int, str]
     subscribers: List[Subscriber] = field(default_factory=list)
+    # Optional observability registry (session.enable_metrics()); bound
+    # at backend creation like subscribers.  Telemetry only — never
+    # consulted by any result-producing path.
+    metrics: Optional[MetricsRegistry] = None
 
 
 class ExecutionBackend(abc.ABC):
@@ -211,6 +219,7 @@ class InlineBackend(ExecutionBackend):
             country_by_asn=context.country_by_asn,
             config=config.pipeline_config(),
             late_policy=config.execution.late_policy,
+            metrics=context.metrics,
         )
         if context.subscribers:
             self.engine.subscribe(self._dispatch)
@@ -294,6 +303,8 @@ class InlineBackend(ExecutionBackend):
             config=self.context.config.pipeline_config(),
             late_policy=self.context.config.execution.late_policy,
         )
+        if self.context.metrics is not None:
+            self.engine.attach_metrics(self.context.metrics)
         if self.context.subscribers:
             self.engine.subscribe(self._dispatch)
 
@@ -347,7 +358,7 @@ def run_shard_worker(transport: ShardTransport) -> None:
         transport.close()
         return
     try:
-        _, config_payload, want_events = wire.check_hello(hello)
+        _, config_payload, want_events, options = wire.check_hello(hello)
     except wire.WireFormatError as exc:
         try:
             transport.send(("error", str(exc)))
@@ -359,6 +370,20 @@ def run_shard_worker(transport: ShardTransport) -> None:
     pipeline_config = config.pipeline_config()
     late_policy = config.execution.late_policy
     events: List[VerdictEvent] = []
+    # Observability (hello options, format 2): "metrics" stands up a
+    # worker-local registry — shipped back shard-labeled in the drain
+    # telemetry — and "ack" asks for an empty events reply per obs chunk
+    # even with no subscribers, which is how the parent measures ingest
+    # lag without turning verdict computation on.
+    registry = MetricsRegistry() if options.get("metrics") else None
+    want_acks = bool(options.get("ack"))
+    chunk_seconds = queue_delay = None
+    if registry is not None:
+        transport.attach_metrics(registry, {"role": "worker"})
+        chunk_seconds = registry.histogram("repro_worker_chunk_seconds")
+        queue_delay = registry.histogram(
+            "repro_worker_queue_delay_seconds"
+        )
 
     def fresh_engine() -> StreamingLocalizer:
         engine = StreamingLocalizer(
@@ -366,6 +391,7 @@ def run_shard_worker(transport: ShardTransport) -> None:
             country_by_asn={},
             config=pipeline_config,
             late_policy=late_policy,
+            metrics=registry,
         )
         if want_events:
             engine.subscribe(events.append)
@@ -378,17 +404,36 @@ def run_shard_worker(transport: ShardTransport) -> None:
             message = transport.recv()
             kind = message[0]
             if kind == "obs":
+                context = wire.frame_trace(message)
+                if registry is not None:
+                    if context is not None:
+                        # Both stamps are CLOCK_MONOTONIC; comparable
+                        # across processes on one host, clamped to zero
+                        # for remote workers whose clocks are not.
+                        queue_delay.observe(
+                            max(0.0, time.perf_counter() - context[1])
+                        )
+                    chunk_started = time.perf_counter()
                 ingest = engine.ingest_observation
                 from_wire = wire.observation_from_wire
                 for payload in message[1]:
                     ingest(from_wire(payload))
+                if registry is not None:
+                    chunk_seconds.observe(
+                        time.perf_counter() - chunk_started
+                    )
                 # Chunk replies exist to carry verdict events (and to
                 # bound the parent's reply queue while they do).  With
                 # no subscribers there is nothing to ship: obs frames
                 # are fire-and-forget and the OS pipe/socket buffer is
-                # the flow control.
-                if want_events:
-                    transport.send(("events", _take_events(events)))
+                # the flow control — unless the parent asked for acks
+                # (metrics mode), which echo the trace context so it
+                # can close latency spans and advance ack watermarks.
+                if want_events or want_acks:
+                    reply = ("events", _take_events(events))
+                    if context is not None:
+                        reply = reply + (context,)
+                    transport.send(reply)
             elif kind == "advance":
                 engine.advance(message[1])
                 transport.send(("events", _take_events(events)))
@@ -398,12 +443,16 @@ def run_shard_worker(transport: ShardTransport) -> None:
                 engine = restore_engine(
                     message[1], None, {}, pipeline_config, late_policy
                 )
+                if registry is not None:
+                    engine.attach_metrics(registry)
                 if want_events:
                     engine.subscribe(events.append)
                 transport.send(("ok",))
             elif kind == "drain":
                 engine.close_all()
-                transport.send(("drain", _drain_payload(engine, events)))
+                transport.send(
+                    ("drain", _drain_payload(engine, events, registry))
+                )
             elif kind == "stop":
                 break
             else:  # pragma: no cover - protocol bug guard
@@ -437,15 +486,22 @@ def _take_events(events: List[VerdictEvent]) -> Tuple:
 
 
 def _drain_payload(
-    engine: StreamingLocalizer, events: List[VerdictEvent]
+    engine: StreamingLocalizer,
+    events: List[VerdictEvent],
+    registry: Optional[MetricsRegistry] = None,
 ) -> Tuple:
-    """(events, problems, stats, confirmed, identifications).
+    """(events, problems, stats, confirmed, identifications, telemetry).
 
     Problems travel as raw (key, solution) object pairs: measured
     against tuple re-encoding, pickling the dataclasses directly is both
     faster and smaller here (the enum members and interned field strings
     memoize once per frame), and the parent can merge them without any
-    reconstruction."""
+    reconstruction.
+
+    The trailing telemetry dict (format 2) is side-band: solve-cache
+    counters always, plus the worker's metrics snapshot when the hello
+    enabled one.  Parents on the old 5-tuple contract ignore it; nothing
+    in it ever reaches the canonical :class:`PipelineResult`."""
     return (
         _take_events(events),
         tuple(
@@ -461,6 +517,10 @@ def _drain_payload(
             identification_to_dict(identification)
             for identification in engine.identifications
         ],
+        {
+            "solve_stats": engine.solve_stats.as_dict(),
+            "metrics": registry.snapshot() if registry is not None else None,
+        },
     )
 
 
@@ -633,6 +693,101 @@ def _key_id(key: ProblemKey) -> Tuple[str, str, str, int]:
     )
 
 
+# Verdict latency brackets the full fabric round trip (encode, queue,
+# worker solve, reply decode, merge) — wider than the codec buckets,
+# narrower than the default request buckets.
+_VERDICT_BUCKETS = (
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0,
+    2.5, 5.0,
+)
+
+
+class _ShardMetrics:
+    """Parent-side instrument handles and watermarks for one shard.
+
+    Everything here is telemetry: the watermark pair (highest stream
+    timestamp *sent* to the shard vs. highest the shard has *acked*)
+    exists only to compute ingest lag in simulated-stream seconds and is
+    never consulted by ingestion, recovery, or drain."""
+
+    __slots__ = (
+        "sent_watermark",
+        "acked_watermark",
+        "ingest_lag",
+        "queue_depth",
+        "buffered",
+        "replay_log",
+        "chunks",
+        "recoveries",
+        "duplicates",
+        "verdict_latency",
+        "encode_seconds",
+    )
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        index: int,
+        transport_kind: str,
+    ) -> None:
+        labels = {"shard": str(index)}
+        self.sent_watermark: Optional[int] = None
+        self.acked_watermark: Optional[int] = None
+        self.ingest_lag = registry.gauge(
+            "repro_shard_ingest_lag_seconds", labels
+        )
+        self.queue_depth = registry.gauge(
+            "repro_shard_queue_depth", labels
+        )
+        self.buffered = registry.gauge(
+            "repro_shard_buffered_observations", labels
+        )
+        self.replay_log = registry.gauge(
+            "repro_shard_replay_log_frames", labels
+        )
+        self.chunks = registry.counter(
+            "repro_shard_chunks_sent_total", labels
+        )
+        self.recoveries = registry.counter(
+            "repro_shard_recoveries_total", labels
+        )
+        self.duplicates = registry.counter(
+            "repro_shard_duplicate_events_total", labels
+        )
+        self.verdict_latency = registry.histogram(
+            "repro_verdict_latency_seconds",
+            labels,
+            buckets=_VERDICT_BUCKETS,
+        )
+        # Same label shape the transport's attach_metrics uses, so the
+        # parent-side encode (which happens in _flush, before the bytes
+        # reach the transport) lands in the same family.
+        self.encode_seconds = registry.histogram(
+            "repro_transport_encode_seconds",
+            {
+                "transport": transport_kind,
+                "role": "parent",
+                "shard": str(index),
+            },
+            buckets=_CODEC_BUCKETS,
+        )
+
+    def note_ack(self, watermark: Optional[int]) -> None:
+        """Advance the acked watermark and refresh the lag gauge.
+
+        Monotonic max: a recovery replay re-delivers old chunk replies
+        whose echoed contexts carry stale watermarks — they must never
+        move the ack line backwards."""
+        if watermark is None:
+            return
+        if self.acked_watermark is None or watermark > self.acked_watermark:
+            self.acked_watermark = watermark
+        if self.sent_watermark is not None:
+            self.ingest_lag.set(
+                max(0, self.sent_watermark - self.acked_watermark)
+            )
+
+
 class ShardedBackend(ExecutionBackend):
     """Open windows partitioned across worker processes by bucket key."""
 
@@ -678,12 +833,35 @@ class ShardedBackend(ExecutionBackend):
         self._baseline_identifications: List[Dict[str, Any]] = []
         self._merged_stats: Optional[StreamStats] = None
         self._merged_identifications: List = []
+        # Observability (all optional, all side-band): per-shard parent
+        # instruments, a tracer for verdict-latency spans, and the
+        # highest buffered-but-unsent stream timestamp per shard.
+        self._metrics = context.metrics
+        self._tracer: Optional[Tracer] = None
+        self._shard_metrics: Optional[List[_ShardMetrics]] = None
+        self._buffer_max_ts: List[Optional[int]] = [None] * self.shards
+        if self._metrics is not None:
+            self._tracer = Tracer(self._metrics)
+            self._shard_metrics = [
+                _ShardMetrics(self._metrics, index, self.transport_kind)
+                for index in range(self.shards)
+            ]
+        self._merged_solve_stats: Optional[SolveStats] = None
+        self._worker_telemetry: List[Dict[str, Any]] = []
 
     # -- worker lifecycle --------------------------------------------------
 
     def _hello(self, index: int) -> Tuple:
+        # With metrics on, workers build their own registry (shipped
+        # back at drain) and ack every obs chunk so ingest lag is
+        # measurable even when no subscriber wants the events.
+        options = (
+            {"metrics": True, "ack": True}
+            if self._metrics is not None
+            else None
+        )
         return wire.hello_frame(
-            index, self._config_payload, self._want_events
+            index, self._config_payload, self._want_events, options
         )
 
     def _open_transport(self, index: int):
@@ -708,7 +886,9 @@ class ShardedBackend(ExecutionBackend):
             )
             process.start()
             child_conn.close()
-            return PipeTransport(parent_conn), process
+            transport = PipeTransport(parent_conn)
+            self._attach_transport_metrics(transport, index)
+            return transport, process
         listener = self._listeners[index]
         process = None
         if not self._shard_hosts:
@@ -726,7 +906,16 @@ class ShardedBackend(ExecutionBackend):
             transport = listener.accept(self._connect_timeout)
         except TransportError as exc:
             raise BackendError(str(exc)) from exc
+        self._attach_transport_metrics(transport, index)
         return transport, process
+
+    def _attach_transport_metrics(
+        self, transport: ShardTransport, index: int
+    ) -> None:
+        if self._metrics is not None:
+            transport.attach_metrics(
+                self._metrics, {"role": "parent", "shard": str(index)}
+            )
 
     def _ensure_workers(self) -> List[_ShardWorker]:
         if self._workers is None:
@@ -849,6 +1038,11 @@ class ShardedBackend(ExecutionBackend):
             )
         buffer = self._buffers[shard]
         buffer.append(wire.observation_to_wire(observation, anomaly_value))
+        if self._shard_metrics is not None:
+            high = self._buffer_max_ts[shard]
+            if high is None or timestamp > high:
+                self._buffer_max_ts[shard] = timestamp
+            self._shard_metrics[shard].buffered.set(len(buffer))
         if len(buffer) >= self.chunk_size:
             self._flush(shard)
 
@@ -915,12 +1109,39 @@ class ShardedBackend(ExecutionBackend):
         if not buffer:
             return
         worker = workers[shard]
-        self._post_frame(
-            worker,
-            wire.encode(("obs", buffer)),
-            expects_reply=self._want_events,
+        shard_metrics = (
+            self._shard_metrics[shard]
+            if self._shard_metrics is not None
+            else None
         )
+        if shard_metrics is None:
+            frame = wire.encode(("obs", buffer))
+            expects_reply = self._want_events
+        else:
+            # One span per chunk: the context rides the frame, the
+            # worker echoes it on its reply, and the verdict-latency
+            # histogram closes on the parent's clock at delivery —
+            # both stamps one process, no cross-host clock trust.
+            watermark = self._buffer_max_ts[shard]
+            context = self._tracer.start(watermark=watermark)
+            clock = self._metrics.clock
+            started = clock()
+            frame = wire.encode(("obs", buffer, context.to_wire()))
+            shard_metrics.encode_seconds.observe(clock() - started)
+            if watermark is not None and (
+                shard_metrics.sent_watermark is None
+                or watermark > shard_metrics.sent_watermark
+            ):
+                shard_metrics.sent_watermark = watermark
+            self._buffer_max_ts[shard] = None
+            shard_metrics.chunks.inc()
+            expects_reply = True        # the worker acks in metrics mode
+        self._post_frame(worker, frame, expects_reply=expects_reply)
         self._buffers[shard] = []
+        if shard_metrics is not None:
+            shard_metrics.buffered.set(0)
+            shard_metrics.queue_depth.set(worker.outstanding)
+            shard_metrics.replay_log.set(len(worker.log))
         worker.chunks_since_snapshot += 1
         self._maybe_snapshot(worker)
         self._pump()
@@ -999,7 +1220,13 @@ class ShardedBackend(ExecutionBackend):
         if kind == "events":
             worker.outstanding -= 1
             worker.failures = 0
-            self._deliver(worker, reply[1])
+            context = reply[2] if len(reply) > 2 else None
+            self._deliver(worker, reply[1], context=context)
+            if self._shard_metrics is not None:
+                shard_metrics = self._shard_metrics[worker.index]
+                shard_metrics.queue_depth.set(worker.outstanding)
+                if context is not None:
+                    shard_metrics.note_ack(context[2])
         elif kind == "ok":
             worker.outstanding -= 1
             worker.failures = 0
@@ -1029,7 +1256,12 @@ class ShardedBackend(ExecutionBackend):
         worker.snapshot_mark = None
         worker.chunks_since_snapshot = 0
 
-    def _deliver(self, worker: _ShardWorker, event_payloads: Tuple) -> None:
+    def _deliver(
+        self,
+        worker: _ShardWorker,
+        event_payloads: Tuple,
+        context: Optional[Tuple] = None,
+    ) -> None:
         """Forward one shard's event batch, re-sequenced into the merged
         stream.  Per-shard order is preserved exactly; cross-shard order
         follows batch arrival.  ``observations_ingested`` counters inside
@@ -1039,7 +1271,12 @@ class ShardedBackend(ExecutionBackend):
         duplicates from a recovery (the worker re-emits them with the
         same shard-local sequences, because the replayed frame stream is
         identical) and are dropped — subscribers see each event exactly
-        once."""
+        once.
+
+        ``context`` is the trace context echoed off the chunk that
+        produced this batch; each *fresh* event closes one verdict-
+        latency span against it (ingest → shard queue → solve → merge,
+        measured entirely on the parent's clock)."""
         if not event_payloads:
             return
         seq = wire.EVENT_SEQUENCE_INDEX
@@ -1047,9 +1284,20 @@ class ShardedBackend(ExecutionBackend):
         fresh = [
             payload for payload in event_payloads if payload[seq] > high
         ]
+        if self._shard_metrics is not None and len(fresh) != len(
+            event_payloads
+        ):
+            self._shard_metrics[worker.index].duplicates.inc(
+                len(event_payloads) - len(fresh)
+            )
         if not fresh:
             return
         worker.delivered_seq = fresh[-1][seq]
+        if self._tracer is not None and context is not None:
+            latency = self._tracer.elapsed(TraceContext.from_wire(context))
+            histogram = self._shard_metrics[worker.index].verdict_latency
+            for _ in fresh:
+                histogram.observe(latency)
         if not self.context.subscribers:
             return
         for payload in fresh:
@@ -1098,6 +1346,8 @@ class ShardedBackend(ExecutionBackend):
                 continue
             if self._rebuild(worker):
                 self.recoveries += 1
+                if self._shard_metrics is not None:
+                    self._shard_metrics[worker.index].recoveries.inc()
                 return
 
     def _rebuild(self, worker: _ShardWorker) -> bool:
@@ -1208,7 +1458,13 @@ class ShardedBackend(ExecutionBackend):
         solutions_by_key: Dict[ProblemKey, Optional[Any]] = {}
         counter_payloads = []
         for worker, payload in zip(self._workers, payloads):
-            events, problems, stats, confirmed, identifications = payload
+            # payload[:5] is the canonical drain contract; the optional
+            # sixth element (format 2) is side-band telemetry and never
+            # influences the merged result.
+            events, problems, stats, confirmed, identifications = (
+                payload[:5]
+            )
+            telemetry = payload[5] if len(payload) > 5 else None
             self._deliver(worker, events)
             for key, solution in problems:
                 solutions_by_key[key] = solution
@@ -1219,6 +1475,8 @@ class ShardedBackend(ExecutionBackend):
                     "identifications": identifications,
                 }
             )
+            if telemetry:
+                self._adopt_telemetry(worker.index, telemetry)
         merged_stats, _, identification_payloads = self._merge_counters(
             counter_payloads
         )
@@ -1246,6 +1504,40 @@ class ShardedBackend(ExecutionBackend):
         )
         self.close()
         return self._drained
+
+    def _adopt_telemetry(
+        self, index: int, telemetry: Dict[str, Any]
+    ) -> None:
+        """Fold one worker's drain telemetry into the parent's view.
+
+        Solve-cache counters sum across shards (each shard solved a
+        disjoint problem set, so the totals are exact); the worker's
+        metrics snapshot merges into the parent registry with a
+        ``shard`` label so worker-side series never collide with the
+        parent's own."""
+        solve = telemetry.get("solve_stats")
+        if solve:
+            if self._merged_solve_stats is None:
+                self._merged_solve_stats = SolveStats()
+            merged = self._merged_solve_stats
+            for name, value in solve.items():
+                setattr(merged, name, getattr(merged, name) + value)
+        snapshot = telemetry.get("metrics")
+        if snapshot and self._metrics is not None:
+            self._metrics.merge(
+                snapshot, extra_labels={"shard": str(index)}
+            )
+        self._worker_telemetry.append({"shard": index, **telemetry})
+
+    @property
+    def solve_stats(self) -> Optional[SolveStats]:
+        """Merged worker solve-cache counters; populated at drain."""
+        return self._merged_solve_stats
+
+    @property
+    def worker_telemetry(self) -> List[Dict[str, Any]]:
+        """Raw per-shard drain telemetry dicts (diagnostics only)."""
+        return list(self._worker_telemetry)
 
     def run_dataset(
         self,

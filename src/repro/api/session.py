@@ -47,6 +47,7 @@ from repro.core.observations import (
 from repro.core.pipeline import PipelineResult
 from repro.iclab.dataset import Dataset
 from repro.iclab.measurement import Measurement
+from repro.obs.metrics import MetricsRegistry
 from repro.runner.spec import JobSpec, SweepSpec
 from repro.scenario.world import World, build_world
 from repro.stream.events import Subscriber
@@ -101,6 +102,7 @@ class LocalizationSession:
         self._subscribers: List[Subscriber] = []
         self._backend: Optional[ExecutionBackend] = None
         self._pending_state: Optional[Dict[str, Any]] = None
+        self._metrics: Optional[MetricsRegistry] = None
         # A world bound without an explicit config leaves self.config a
         # default that does NOT describe the world; fine for in-process
         # use, but a checkpoint written from it would restore the wrong
@@ -168,6 +170,7 @@ class LocalizationSession:
                     ip2as=self.ip2as,
                     country_by_asn=self.country_by_asn,
                     subscribers=self._subscribers,
+                    metrics=self._metrics,
                 )
             )
             if self._pending_state is not None:
@@ -192,6 +195,37 @@ class LocalizationSession:
                 "subscribers"
             )
         self._subscribers.append(subscriber)
+
+    # -- observability -----------------------------------------------------
+
+    def enable_metrics(
+        self, registry: Optional[MetricsRegistry] = None
+    ) -> MetricsRegistry:
+        """Attach a metrics registry to this session's backend.
+
+        Like :meth:`subscribe`, this must precede backend creation: the
+        backend wires its instrumentation (and, for the sharded backend,
+        tells its workers to build registries and ack chunks) when it is
+        built.  Returns the registry so callers can hand it to
+        :func:`repro.obs.export.start_metrics_server` or snapshot it.
+        Telemetry only — enabling metrics never changes any result.
+        """
+        if self._backend is not None and self._metrics is None:
+            raise RuntimeError(
+                "enable_metrics() must precede backend creation — the "
+                "first workload, ingestion, or checkpoint() call on "
+                "this session already bound its backend without "
+                "instrumentation"
+            )
+        if registry is None:
+            registry = MetricsRegistry()
+        self._metrics = registry
+        return registry
+
+    @property
+    def metrics(self) -> Optional[MetricsRegistry]:
+        """The registry from :meth:`enable_metrics`, or None."""
+        return self._metrics
 
     # -- one-shot workloads ------------------------------------------------
 
@@ -456,7 +490,8 @@ class LocalizationSession:
 
     @property
     def solve_stats(self):
-        """Inline engine's solve-cache counters; None on sharded."""
+        """Solve-cache counters: live on inline, merged-at-drain on
+        sharded (None until the sharded drain ships them back)."""
         return getattr(self._backend, "solve_stats", None)
 
 

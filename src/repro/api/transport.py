@@ -28,10 +28,18 @@ import time
 from typing import Optional, Tuple
 
 from repro.api import wire
+from repro.obs.metrics import MetricsRegistry
 
 # Length prefix: 4 bytes, big-endian — a single frame beyond 4 GiB is a
 # protocol bug, not a workload.
 _LENGTH = struct.Struct(">I")
+
+# Encode/decode histograms get tighter sub-millisecond buckets than the
+# default latency set: a chunk's pickling is microseconds, not seconds.
+_CODEC_BUCKETS = (
+    0.00001, 0.000025, 0.00005, 0.0001, 0.00025, 0.0005,
+    0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+)
 
 
 class TransportError(RuntimeError):
@@ -54,7 +62,76 @@ def parse_address(address: str) -> Tuple[str, int]:
 
 
 class ShardTransport(abc.ABC):
-    """One duplex frame channel between a shard parent and one worker."""
+    """One duplex frame channel between a shard parent and one worker.
+
+    Optionally instrumented (:meth:`attach_metrics`): frame and byte
+    counters per direction, plus encode/decode time histograms on the
+    framed-message conveniences.  Absent a registry every hot path pays
+    one ``None`` test — the repo-wide zero-cost contract.
+    """
+
+    kind = "transport"              # subclass label value: pipe | socket
+
+    def __init__(self) -> None:
+        self._m_send: Optional[Tuple] = None   # (frames, bytes) counters
+        self._m_recv: Optional[Tuple] = None
+        self._m_encode = None
+        self._m_decode = None
+        self._m_clock = None
+
+    def attach_metrics(
+        self,
+        registry: MetricsRegistry,
+        labels: Optional[dict] = None,
+    ) -> None:
+        """Instrument this channel end.
+
+        ``labels`` distinguish the endpoint — the sharded backend passes
+        ``{"role": "parent", "shard": i}`` on its side and workers pass
+        ``{"role": "worker"}``, so parent-sent and worker-sent series
+        never collide when worker snapshots merge at drain.  Call before
+        any concurrent use (handles are created here, not on the paths).
+        """
+        base = {"transport": self.kind, **(labels or {})}
+        self._m_send = (
+            registry.counter(
+                "repro_transport_frames_total",
+                {**base, "direction": "send"},
+            ),
+            registry.counter(
+                "repro_transport_bytes_total",
+                {**base, "direction": "send"},
+            ),
+        )
+        self._m_recv = (
+            registry.counter(
+                "repro_transport_frames_total",
+                {**base, "direction": "recv"},
+            ),
+            registry.counter(
+                "repro_transport_bytes_total",
+                {**base, "direction": "recv"},
+            ),
+        )
+        self._m_encode = registry.histogram(
+            "repro_transport_encode_seconds", base, buckets=_CODEC_BUCKETS
+        )
+        self._m_decode = registry.histogram(
+            "repro_transport_decode_seconds", base, buckets=_CODEC_BUCKETS
+        )
+        self._m_clock = registry.clock
+
+    def _note_send(self, data: bytes) -> None:
+        counters = self._m_send
+        if counters is not None:
+            counters[0].inc()
+            counters[1].inc(len(data))
+
+    def _note_recv(self, data: bytes) -> None:
+        counters = self._m_recv
+        if counters is not None:
+            counters[0].inc()
+            counters[1].inc(len(data))
 
     @abc.abstractmethod
     def send_bytes(self, data: bytes) -> None:
@@ -71,24 +148,44 @@ class ShardTransport(abc.ABC):
     # -- framed message conveniences --------------------------------------
 
     def send(self, message: Tuple) -> None:
-        self.send_bytes(wire.encode(message))
+        if self._m_encode is not None:
+            clock = self._m_clock
+            started = clock()
+            data = wire.encode(message)
+            self._m_encode.observe(clock() - started)
+        else:
+            data = wire.encode(message)
+        self.send_bytes(data)
 
     def recv(self) -> Tuple:
-        return wire.decode(self.recv_bytes())
+        data = self.recv_bytes()
+        if self._m_decode is not None:
+            clock = self._m_clock
+            started = clock()
+            message = wire.decode(data)
+            self._m_decode.observe(clock() - started)
+            return message
+        return wire.decode(data)
 
 
 class PipeTransport(ShardTransport):
     """A multiprocessing duplex pipe (same-host forked worker)."""
 
+    kind = "pipe"
+
     def __init__(self, conn) -> None:
+        super().__init__()
         self._conn = conn
 
     def send_bytes(self, data: bytes) -> None:
+        self._note_send(data)
         self._conn.send_bytes(data)
 
     def recv_bytes(self) -> bytes:
         # Connection.recv_bytes raises EOFError on a closed peer already.
-        return self._conn.recv_bytes()
+        data = self._conn.recv_bytes()
+        self._note_recv(data)
+        return data
 
     def close(self) -> None:
         try:
@@ -100,7 +197,10 @@ class PipeTransport(ShardTransport):
 class SocketTransport(ShardTransport):
     """Length-prefixed frames over one connected TCP socket."""
 
+    kind = "socket"
+
     def __init__(self, sock: socket.socket) -> None:
+        super().__init__()
         sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
         # Blocking mode, explicitly: a timeout left over from connect()
         # would turn any >timeout idle gap in the frame stream (a slow
@@ -110,12 +210,15 @@ class SocketTransport(ShardTransport):
         self._sock = sock
 
     def send_bytes(self, data: bytes) -> None:
+        self._note_send(data)
         self._sock.sendall(_LENGTH.pack(len(data)) + data)
 
     def recv_bytes(self) -> bytes:
         header = self._recv_exact(_LENGTH.size)
         (length,) = _LENGTH.unpack(header)
-        return self._recv_exact(length)
+        data = self._recv_exact(length)
+        self._note_recv(data)
+        return data
 
     def _recv_exact(self, count: int) -> bytes:
         chunks = []

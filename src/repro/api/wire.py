@@ -25,6 +25,18 @@ checkpoints directly.
 ``WIRE_FORMAT`` versions the whole vocabulary; socket peers exchange it
 in the hello frame and refuse mismatched builds instead of
 mis-decoding.
+
+Format 2 added the observability extensions, all version-gated behind
+the hello exchange: an options dict on the hello frame (``metrics``
+turns on the worker-side registry, ``ack`` asks for empty ``events``
+replies on otherwise fire-and-forget obs chunks so the parent can
+measure ingest lag), an optional trailing trace-context element on
+``obs`` frames (echoed verbatim on the matching ``events`` reply — the
+carrier for cross-boundary verdict-latency spans and ack watermarks),
+and a trailing telemetry element on the drain payload (worker metrics
+snapshot + solve-cache counters).  Every extension is a *trailing*
+optional element, so the decoders accept format-1-shaped tuples from
+this build's own code paths that don't use them.
 """
 
 from __future__ import annotations
@@ -39,7 +51,7 @@ from repro.core.splitting import Granularity, ProblemKey
 from repro.stream.events import VerdictEvent, VerdictKind
 from repro.util.timeutil import TimeWindow
 
-WIRE_FORMAT = 1
+WIRE_FORMAT = 2
 
 _PROTOCOL = pickle.HIGHEST_PROTOCOL
 
@@ -216,14 +228,29 @@ def hello_frame(
     shard_index: int,
     config_payload: Dict[str, Any],
     want_events: bool,
+    options: Optional[Dict[str, Any]] = None,
 ) -> Tuple:
     """The parent's first frame on any transport: protocol version plus
-    everything a worker needs to build its engine."""
-    return ("hello", WIRE_FORMAT, shard_index, config_payload, want_events)
+    everything a worker needs to build its engine.
+
+    ``options`` (format 2) carries the observability switches:
+    ``{"metrics": bool, "ack": bool}``."""
+    return (
+        "hello",
+        WIRE_FORMAT,
+        shard_index,
+        config_payload,
+        want_events,
+        dict(options) if options else {},
+    )
 
 
-def check_hello(message: Tuple) -> Tuple[int, Dict[str, Any], bool]:
-    """Validate a hello frame; returns (shard_index, config, want_events)."""
+def check_hello(
+    message: Tuple,
+) -> Tuple[int, Dict[str, Any], bool, Dict[str, Any]]:
+    """Validate a hello frame; returns (shard_index, config, want_events,
+    options).  The options element is trailing-optional: a frame without
+    it (this build's own minimal callers) yields ``{}``."""
     if not message or message[0] != "hello":
         raise WireFormatError(
             f"expected a hello frame, got {message[:1]!r}"
@@ -233,7 +260,17 @@ def check_hello(message: Tuple) -> Tuple[int, Dict[str, Any], bool]:
             f"peer speaks wire format {message[1]!r}; this build speaks "
             f"{WIRE_FORMAT}"
         )
-    return message[2], message[3], message[4]
+    options = message[5] if len(message) > 5 and message[5] else {}
+    return message[2], message[3], message[4], options
+
+
+def frame_trace(message: Tuple) -> Optional[Tuple]:
+    """The trailing trace-context element of an ``obs`` frame or an
+    ``events`` reply (format 2), or None when absent.  The context is an
+    opaque tuple — minted and consumed by :mod:`repro.obs.trace` — that
+    a worker echoes verbatim so the parent can close the span on its own
+    clock."""
+    return message[2] if len(message) > 2 else None
 
 
 def check_hello_ack(message: Tuple) -> None:
@@ -266,4 +303,5 @@ __all__ = [
     "hello_frame",
     "check_hello",
     "check_hello_ack",
+    "frame_trace",
 ]

@@ -133,6 +133,10 @@ class ProblemSolveCache:
     def __init__(self) -> None:
         self._solutions: Dict[ProblemSignature, ProblemSolution] = {}
         self.stats = SolveStats()
+        # Optional observability registry (repro.obs), threaded down to
+        # the CDCL solver for per-solve search counters.  Telemetry
+        # only: never consulted by the solve paths themselves.
+        self.metrics = None
         # Scratch reused across problems: cleared, never reallocated.
         self._scratch_false: Set[int] = set()
         self._scratch_true: Set[int] = set()
@@ -511,7 +515,11 @@ def _solve_ledger_residual(
 ) -> ProblemSolution:
     """Classify via CDCL enumeration (and backbone when MULTIPLE)."""
     cnf, builder = ledger.build_cnf()
-    enumeration = enumerate_models(cnf, cap=solution_cap)
+    enumeration = enumerate_models(
+        cnf,
+        cap=solution_cap,
+        metrics=cache.metrics if cache is not None else None,
+    )
     if enumeration.unsatisfiable:
         return ProblemSolution(
             key=key,

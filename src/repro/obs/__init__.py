@@ -1,0 +1,58 @@
+"""repro.obs — metrics, tracing, and exposition for the localization fabric.
+
+The unified observability layer: a labeled
+:class:`~repro.obs.metrics.MetricsRegistry` (counters, gauges,
+fixed-bucket histograms) behind every instrumented component, wire-level
+trace contexts (:mod:`repro.obs.trace`) that attribute one verdict across
+the shard boundary, and Prometheus/JSON exposition
+(:mod:`repro.obs.export`) behind ``--metrics-port`` and
+``repro-runner metrics``.
+
+Quickstart::
+
+    from repro.api import LocalizationSession
+
+    session = LocalizationSession.from_preset("tiny")
+    registry = session.enable_metrics()     # before the first workload
+    session.stream()
+    print(registry.snapshot()["gauges"][:3])
+
+Everything here honors the two contracts the repo's profiling layer set:
+zero cost when absent, and no influence on canonical records — drains
+stay byte-identical with all instrumentation enabled.
+"""
+
+from repro.obs.metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    series_key,
+)
+from repro.obs.trace import TraceContext, Tracer
+from repro.obs.export import (
+    METRIC_CATALOG,
+    MetricsServer,
+    parse_prometheus,
+    render_prometheus,
+    start_metrics_server,
+    validate_exposition,
+)
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "METRIC_CATALOG",
+    "MetricsRegistry",
+    "MetricsServer",
+    "TraceContext",
+    "Tracer",
+    "parse_prometheus",
+    "render_prometheus",
+    "series_key",
+    "start_metrics_server",
+    "validate_exposition",
+]

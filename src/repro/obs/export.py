@@ -1,0 +1,351 @@
+"""Exposition: Prometheus text format, JSON dumps, and the HTTP server.
+
+One snapshot (:meth:`repro.obs.metrics.MetricsRegistry.snapshot`) renders
+two ways:
+
+- :func:`render_prometheus` — text exposition format 0.0.4, the scrape
+  payload ``--metrics-port`` serves at ``/metrics``;
+- the snapshot itself is the JSON dump (``/metrics.json``, the stream
+  CLI's ``--json`` output, drain telemetry).
+
+``METRIC_CATALOG`` is the documented vocabulary: every metric the repo's
+own instrumentation emits, with type and help text.  The CI smoke step
+scrapes a live run and validates the exposition against it
+(:func:`validate_exposition`), so the catalog cannot rot silently.
+
+The HTTP server is one daemon thread over :mod:`http.server` — no new
+dependencies, good enough for a scrape endpoint; ``port=0`` binds an
+ephemeral port (readable back off the returned handle, how tests run
+servers concurrently).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.obs.metrics import MetricsRegistry
+
+# name → (type, help).  Types: "counter" | "gauge" | "histogram".
+METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
+    # -- stream engine (collector-exported; shard-labeled after merge) ----
+    "repro_stream_measurements": ("gauge", "Measurements ingested"),
+    "repro_stream_observations": ("gauge", "Observations ingested"),
+    "repro_stream_discarded_measurements": (
+        "gauge", "Measurements discarded during conversion"),
+    "repro_stream_problems_opened": ("gauge", "Problem windows opened"),
+    "repro_stream_problems_closed": ("gauge", "Problem windows closed"),
+    "repro_stream_problems_reopened": (
+        "gauge", "Closed windows reopened by late observations"),
+    "repro_stream_clauses_appended": (
+        "gauge", "Ledger clauses that added information"),
+    "repro_stream_snapshots": ("gauge", "Verdict recomputations"),
+    "repro_stream_propagation_decided": (
+        "gauge", "Verdicts closed by incremental propagation"),
+    "repro_stream_fallback_solves": (
+        "gauge", "Verdicts needing the full solve path"),
+    "repro_stream_events_emitted": ("gauge", "Verdict events emitted"),
+    "repro_stream_open_problems": ("gauge", "Problem windows still open"),
+    "repro_stream_closed_problems": ("gauge", "Problem windows closed"),
+    # -- solve cache (collector-exported) ---------------------------------
+    "repro_solve_problems": ("gauge", "Problems solved"),
+    "repro_solve_signature_hits": (
+        "gauge", "Problems solved by the structural memo alone"),
+    "repro_solve_unique_cnfs": (
+        "gauge", "Structurally distinct formulas solved"),
+    "repro_solve_propagation_decided": (
+        "gauge", "Problems closed by the set-based fast path"),
+    "repro_solve_cdcl_solves": (
+        "gauge", "Residual problems needing the CDCL solver"),
+    "repro_solve_backbones_from_models": (
+        "gauge", "Backbones derived without a second solver pass"),
+    "repro_solve_signature_hit_ratio": (
+        "gauge", "signature_hits / problems (unique-CNF hit rate)"),
+    "repro_solve_propagation_ratio": (
+        "gauge", "propagation_decided / problems (fast-path hit rate)"),
+    # -- verdict events (per kind; only with subscribers attached) --------
+    "repro_events_total": (
+        "counter", "Verdict events emitted, by event_kind"),
+    # -- SAT core ----------------------------------------------------------
+    "repro_sat_solves_total": ("counter", "CDCL solve() calls"),
+    "repro_sat_conflicts_total": ("counter", "CDCL conflicts"),
+    "repro_sat_decisions_total": ("counter", "CDCL decisions"),
+    "repro_sat_propagations_total": ("counter", "CDCL unit propagations"),
+    # -- transports --------------------------------------------------------
+    "repro_transport_frames_total": (
+        "counter", "Wire frames moved, by transport/role/direction"),
+    "repro_transport_bytes_total": (
+        "counter", "Wire payload bytes moved, by transport/role/direction"),
+    "repro_transport_encode_seconds": (
+        "histogram", "Frame encode time (message → bytes)"),
+    "repro_transport_decode_seconds": (
+        "histogram", "Frame decode time (bytes → message)"),
+    # -- sharded backend, parent side -------------------------------------
+    "repro_shard_ingest_lag_seconds": (
+        "gauge",
+        "Parent send watermark minus worker ack watermark, in "
+        "simulated stream seconds, per shard"),
+    "repro_shard_queue_depth": (
+        "gauge", "Un-acked frames outstanding to the shard"),
+    "repro_shard_buffered_observations": (
+        "gauge", "Observations buffered parent-side for the shard"),
+    "repro_shard_replay_log_frames": (
+        "gauge", "Frames in the shard's recovery replay log"),
+    "repro_shard_chunks_sent_total": (
+        "counter", "Observation chunks flushed to the shard"),
+    "repro_shard_recoveries_total": (
+        "counter", "Dead-worker recoveries for the shard"),
+    "repro_shard_duplicate_events_total": (
+        "counter", "Replay-duplicate verdict events dropped by dedup"),
+    "repro_verdict_latency_seconds": (
+        "histogram",
+        "Chunk flush → verdict merge, per shard, traced across the "
+        "wire on the parent's clock"),
+    # -- shard workers (merged shard-labeled at drain) --------------------
+    "repro_worker_chunk_seconds": (
+        "histogram", "Worker-side ingest time per observation chunk"),
+    "repro_worker_queue_delay_seconds": (
+        "histogram",
+        "Chunk flush → worker receipt (wall clocks; same-host only)"),
+    # -- StageTimer adapter ------------------------------------------------
+    "repro_stage_seconds": ("counter", "Stage wall seconds, by stage"),
+    "repro_stage_calls": ("counter", "Stage invocations, by stage"),
+}
+
+_NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+_LINE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$"
+)
+
+
+def sanitize_name(name: str) -> str:
+    """A Prometheus-legal metric name (free-form counters have dots)."""
+    if _NAME_OK.match(name):
+        return name
+    cleaned = _BAD_CHARS.sub("_", name)
+    if not cleaned or not re.match(r"[a-zA-Z_:]", cleaned[0]):
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _render_labels(labels: Dict[str, str]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{key}="{value}"' for key, value in sorted(labels.items())
+    )
+    return f"{{{inner}}}"
+
+
+def _format_value(value: Any) -> str:
+    if isinstance(value, bool):
+        return str(int(value))
+    if isinstance(value, int):
+        return str(value)
+    return repr(float(value))
+
+
+def render_prometheus(snapshot: Dict[str, Any]) -> str:
+    """Text exposition format 0.0.4 over one registry snapshot."""
+    lines: List[str] = []
+    seen_types: set = set()
+
+    def _type_line(name: str, kind: str) -> None:
+        if name in seen_types:
+            return
+        seen_types.add(name)
+        entry = METRIC_CATALOG.get(name)
+        if entry is not None and entry[1]:
+            lines.append(f"# HELP {name} {entry[1]}")
+        lines.append(f"# TYPE {name} {kind}")
+
+    for entry in snapshot.get("counters", ()):
+        name = sanitize_name(entry["name"])
+        _type_line(name, "counter")
+        lines.append(
+            f"{name}{_render_labels(entry.get('labels', {}))} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snapshot.get("gauges", ()):
+        name = sanitize_name(entry["name"])
+        _type_line(name, "gauge")
+        lines.append(
+            f"{name}{_render_labels(entry.get('labels', {}))} "
+            f"{_format_value(entry['value'])}"
+        )
+    for entry in snapshot.get("histograms", ()):
+        name = sanitize_name(entry["name"])
+        _type_line(name, "histogram")
+        labels = entry.get("labels", {})
+        cumulative = 0
+        for bound, count in zip(entry["bounds"], entry["counts"]):
+            cumulative += count
+            lines.append(
+                f"{name}_bucket"
+                f"{_render_labels({**labels, 'le': repr(float(bound))})} "
+                f"{cumulative}"
+            )
+        cumulative += entry["counts"][len(entry["bounds"])]
+        lines.append(
+            f"{name}_bucket{_render_labels({**labels, 'le': '+Inf'})} "
+            f"{cumulative}"
+        )
+        lines.append(
+            f"{name}_sum{_render_labels(labels)} "
+            f"{_format_value(entry['sum'])}"
+        )
+        lines.append(
+            f"{name}_count{_render_labels(labels)} {entry['count']}"
+        )
+    return "\n".join(lines) + "\n"
+
+
+def parse_prometheus(text: str) -> Dict[str, float]:
+    """Exposition text → ``{series: value}`` (series as printed).
+
+    A deliberately small parser — enough for the CI smoke scrape and the
+    ``repro-runner metrics`` viewer, not a general client.  Raises
+    ``ValueError`` on a line it cannot parse.
+    """
+    series: Dict[str, float] = {}
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _LINE.match(line)
+        if match is None:
+            raise ValueError(f"unparsable exposition line: {raw!r}")
+        name, labels, value = match.groups()
+        try:
+            parsed = float(value)
+        except ValueError:
+            raise ValueError(
+                f"unparsable sample value in line: {raw!r}"
+            ) from None
+        series[f"{name}{labels or ''}"] = parsed
+    return series
+
+
+def _family_of(name: str) -> str:
+    """The metric family a sample belongs to (histogram suffixes fold)."""
+    for suffix in ("_bucket", "_sum", "_count"):
+        base = name[: -len(suffix)] if name.endswith(suffix) else None
+        if base and METRIC_CATALOG.get(base, ("",))[0] == "histogram":
+            return base
+    return name
+
+
+def validate_exposition(
+    text: str, catalog: Optional[Dict[str, Tuple[str, str]]] = None
+) -> List[str]:
+    """Check a scrape against the catalog; returns problem strings.
+
+    Empty list means: every line parses, and every metric family is a
+    catalog name (histogram ``_bucket``/``_sum``/``_count`` samples fold
+    into their base family).  Free-form ``StageTimer`` counters are the
+    one sanctioned exception — they surface only through the perf report,
+    not the exposition endpoint of an instrumented run.
+    """
+    known = catalog if catalog is not None else METRIC_CATALOG
+    problems: List[str] = []
+    try:
+        series = parse_prometheus(text)
+    except ValueError as exc:
+        return [str(exc)]
+    if not series:
+        return ["exposition contains no samples"]
+    for key in series:
+        name = key.split("{", 1)[0]
+        family = _family_of(name)
+        if family not in known:
+            problems.append(f"unknown metric family: {family}")
+    return sorted(set(problems))
+
+
+# -- HTTP exposition ---------------------------------------------------------
+
+
+class MetricsServer:
+    """One daemon-thread HTTP server over a registry.
+
+    ``/metrics`` serves Prometheus text, ``/metrics.json`` the JSON
+    snapshot.  The snapshot is taken per request (collectors run), so a
+    scrape mid-run sees live values.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        port: int = 0,
+        host: str = "127.0.0.1",
+    ) -> None:
+        self.registry = registry
+
+        server = self
+
+        class _Handler(BaseHTTPRequestHandler):
+            def do_GET(self) -> None:  # noqa: N802 - stdlib casing
+                if self.path.split("?", 1)[0] == "/metrics":
+                    body = render_prometheus(
+                        server.registry.snapshot()
+                    ).encode("utf-8")
+                    content_type = "text/plain; version=0.0.4"
+                elif self.path.split("?", 1)[0] == "/metrics.json":
+                    body = json.dumps(
+                        server.registry.snapshot(), sort_keys=True
+                    ).encode("utf-8")
+                    content_type = "application/json"
+                else:
+                    self.send_error(404, "try /metrics or /metrics.json")
+                    return
+                self.send_response(200)
+                self.send_header("Content-Type", content_type)
+                self.send_header("Content-Length", str(len(body)))
+                self.end_headers()
+                self.wfile.write(body)
+
+            def log_message(self, *args: object) -> None:
+                pass  # scrapes must not spam the CLI's stdout
+
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self.host, self.port = self._httpd.server_address[:2]
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever, daemon=True
+        )
+        self._thread.start()
+
+    @property
+    def address(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}/metrics"
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        self._thread.join(timeout=5.0)
+
+
+def start_metrics_server(
+    registry: MetricsRegistry, port: int = 0, host: str = "127.0.0.1"
+) -> MetricsServer:
+    """Serve ``registry`` over HTTP from a daemon thread."""
+    return MetricsServer(registry, port=port, host=host)
+
+
+__all__ = [
+    "METRIC_CATALOG",
+    "MetricsServer",
+    "parse_prometheus",
+    "render_prometheus",
+    "sanitize_name",
+    "start_metrics_server",
+    "validate_exposition",
+]

@@ -1,0 +1,101 @@
+"""Lightweight spans whose context crosses the shard wire protocol.
+
+A :class:`TraceContext` is three numbers — an id, a wall-clock start, and
+an optional stream watermark — small enough to ride as one extra tuple
+element on an ``obs`` frame (:mod:`repro.api.wire`, format 2).  The
+worker echoes the context verbatim on its ``events`` reply, which buys
+two measurements with zero cross-host clock arithmetic:
+
+- **verdict latency per shard** — both endpoints of the span live on the
+  *parent's* clock: the context is stamped when a chunk is flushed and
+  closed when the echoed reply's verdict events are merged back into the
+  subscriber stream, so ``repro_verdict_latency_seconds{shard}`` covers
+  ingest → shard queue → propagation → event merge end-to-end and is
+  immune to clock skew between hosts;
+- **per-shard ingest lag** — the context carries the chunk's max stream
+  timestamp (the parent's *send watermark*); the echo returns it as the
+  worker's *ack watermark*, and the gauge is their difference in
+  simulated stream seconds.
+
+Worker-side spans (chunk ingest time, parent→worker queue delay) use the
+same context against the worker's own clocks and surface in the worker's
+registry, merged shard-labeled at drain.
+
+Spans here are deliberately minimal — a context manager over a histogram
+— not a distributed-tracing system: every duration lands in a labeled
+:class:`~repro.obs.metrics.Histogram`, because the consumers (the perf
+report, the autoscaler the ROADMAP plans) want distributions, not
+per-span logs.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from repro.obs.metrics import Histogram, MetricsRegistry
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """One span's identity: ``(trace_id, started, watermark)`` on the wire."""
+
+    trace_id: int
+    started: float                  # originator's wall clock at span start
+    watermark: Optional[int] = None  # max stream timestamp in the chunk
+
+    def to_wire(self) -> Tuple:
+        return (self.trace_id, self.started, self.watermark)
+
+    @staticmethod
+    def from_wire(payload: Tuple) -> "TraceContext":
+        return TraceContext(
+            trace_id=payload[0], started=payload[1], watermark=payload[2]
+        )
+
+
+class Tracer:
+    """Mints contexts and closes spans into histograms.
+
+    The clock is injectable (tests pin it); it must be a *wall* clock
+    shared by start and finish sites — the parent both stamps and closes
+    verdict-latency spans, so ``time.perf_counter`` works there too.
+    """
+
+    def __init__(
+        self,
+        registry: MetricsRegistry,
+        clock: Optional[Callable[[], float]] = None,
+    ) -> None:
+        self.registry = registry
+        self._clock = clock if clock is not None else registry.clock
+        self._next_id = 0
+
+    def start(self, watermark: Optional[int] = None) -> TraceContext:
+        """Open a span now (a fresh id, the current clock reading)."""
+        self._next_id += 1
+        return TraceContext(
+            trace_id=self._next_id,
+            started=self._clock(),
+            watermark=watermark,
+        )
+
+    def elapsed(self, context: TraceContext) -> float:
+        return self._clock() - context.started
+
+    def finish(
+        self, context: TraceContext, histogram: Histogram
+    ) -> float:
+        """Close a span into ``histogram``; returns the duration."""
+        duration = self.elapsed(context)
+        histogram.observe(duration)
+        return duration
+
+
+__all__ = ["TraceContext", "Tracer"]
+
+
+# Re-exported for convenience; the wall clock workers use to measure
+# queue delay against a parent-stamped context (same-host deployments).
+wall_clock = time.time

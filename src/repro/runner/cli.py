@@ -221,6 +221,49 @@ def _build_parser() -> argparse.ArgumentParser:
     stream.add_argument("--events", type=int, default=10, metavar="N")
     stream.add_argument("--verify", action="store_true")
     stream.add_argument("--json", action="store_true")
+    stream.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "enable telemetry and serve /metrics + /metrics.json over "
+            "HTTP on this port (0 picks a free one)"
+        ),
+    )
+    stream.add_argument(
+        "--metrics-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="keep the metrics endpoint up this long after the run",
+    )
+
+    metrics = subparsers.add_parser(
+        "metrics",
+        help="scrape and validate a live /metrics endpoint or dump file",
+    )
+    metrics.add_argument(
+        "source",
+        metavar="URL_OR_FILE",
+        help=(
+            "a http://host:port/metrics URL to scrape, or a path to a "
+            "Prometheus text file / JSON snapshot to read"
+        ),
+    )
+    metrics.add_argument(
+        "--check",
+        action="store_true",
+        help=(
+            "validate every family against the metric catalog; exit 1 "
+            "on unknown names, type mismatches, or malformed lines"
+        ),
+    )
+    metrics.add_argument(
+        "--json",
+        action="store_true",
+        help="print the parsed series as one JSON object",
+    )
 
     shard_worker = subparsers.add_parser(
         "shard-worker",
@@ -451,7 +494,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
             per_job_total.append((total, label))
     if args.json:
         snapshot = aggregate.snapshot() if jobs_with_perf else {
-            "stages": {}, "counters": {}
+            "stages": {}, "counters": {}, "gauges": {}
         }
         print(
             json.dumps(
@@ -460,6 +503,7 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                     "jobs_with_perf": jobs_with_perf,
                     "stages": snapshot["stages"],
                     "counters": snapshot["counters"],
+                    "gauges": snapshot.get("gauges", {}),
                     "per_job_total": [
                         {"label": label, "seconds": seconds}
                         for seconds, label in sorted(
@@ -510,6 +554,19 @@ def _cmd_perf(args: argparse.Namespace) -> int:
                 title="counters",
             )
         )
+    gauges = snapshot.get("gauges", {})
+    if gauges:
+        # Last-written levels (cache sizes, open-problem counts): the
+        # cross-job "total" of a level is meaningless, so they get their
+        # own table instead of summing into the counters above.
+        print()
+        print(
+            format_table(
+                ["gauge", "last value"],
+                sorted(gauges.items()),
+                title="gauges",
+            )
+        )
     if per_job_total:
         per_job_total.sort(reverse=True)
         print()
@@ -540,6 +597,8 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             backend=args.backend,
             shards=args.shards,
             transport=args.transport,
+            metrics_port=args.metrics_port,
+            metrics_linger=args.metrics_linger,
         )
     job = JobSpec(
         preset=args.preset,
@@ -556,7 +615,67 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         backend=args.backend,
         shards=args.shards,
         transport=args.transport,
+        metrics_port=args.metrics_port,
+        metrics_linger=args.metrics_linger,
     )
+
+
+def _read_metrics_source(source: str) -> str:
+    """Fetch an exposition: live URL, text file, or JSON snapshot file.
+
+    JSON snapshots (``/metrics.json`` dumps, ``"metrics"`` keys cut out
+    of ``repro-stream --json`` output) are rendered to Prometheus text
+    first, so one validation path covers both formats."""
+    if source.startswith(("http://", "https://")):
+        import urllib.request
+
+        with urllib.request.urlopen(source, timeout=10.0) as response:
+            text = response.read().decode("utf-8")
+    else:
+        with open(source, "r", encoding="utf-8") as handle:
+            text = handle.read()
+    stripped = text.lstrip()
+    if stripped.startswith("{"):
+        from repro.obs.export import render_prometheus
+
+        return render_prometheus(json.loads(stripped))
+    return text
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    from repro.obs.export import parse_prometheus, validate_exposition
+    from urllib.error import URLError
+
+    try:
+        text = _read_metrics_source(args.source)
+    except (OSError, URLError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    series = parse_prometheus(text)
+    problems = validate_exposition(text) if args.check else []
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "source": args.source,
+                    "series": series,
+                    "problems": problems,
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+    else:
+        for name in sorted(series):
+            print(f"{name} {series[name]:g}")
+        if args.check:
+            for problem in problems:
+                print(f"problem: {problem}", file=sys.stderr)
+            print(
+                f"{len(series)} series, {len(problems)} problems",
+                file=sys.stderr,
+            )
+    return 1 if problems else 0
 
 
 def _cmd_shard_worker(args: argparse.Namespace) -> int:
@@ -581,6 +700,7 @@ _COMMANDS = {
     "report": _cmd_report,
     "perf": _cmd_perf,
     "stream": _cmd_stream,
+    "metrics": _cmd_metrics,
     "shard-worker": _cmd_shard_worker,
 }
 

@@ -59,6 +59,7 @@ def enumerate_models(
     cnf: CNF,
     cap: int = DEFAULT_MODEL_CAP,
     variables: Optional[Sequence[int]] = None,
+    metrics=None,
 ) -> EnumerationResult:
     """Enumerate up to ``cap`` models of ``cnf``.
 
@@ -74,13 +75,16 @@ def enumerate_models(
         Project models onto this subset of variables (default: variables
         that appear in at least one clause). Two models agreeing on the
         projection count once.
+    metrics:
+        Optional :class:`repro.obs.metrics.MetricsRegistry`; the solver
+        records per-solve search counters into it.  Telemetry only.
     """
     if cap < 1:
         raise ValueError("cap must be >= 1")
     project: List[int] = sorted(variables) if variables is not None else sorted(
         cnf.variables()
     )
-    solver = Solver(cnf)
+    solver = Solver(cnf, metrics=metrics)
     result = EnumerationResult()
     while True:
         outcome = solver.solve()

@@ -25,6 +25,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.analysis.localization_time import TTL_HEADERS, TimeToLocalization
@@ -37,6 +38,7 @@ from repro.api.config import (
 )
 from repro.api.session import LocalizationSession
 from repro.core.pipeline import DEFAULT_SOLUTION_CAP
+from repro.obs.export import MetricsServer
 from repro.runner.spec import JobSpec
 from repro.runner.store import ResultStore
 from repro.scenario.presets import PRESETS
@@ -119,6 +121,27 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", action="store_true", help="machine-readable output"
     )
     parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "enable telemetry and serve it over HTTP on this port "
+            "(0 picks a free one): /metrics for Prometheus text, "
+            "/metrics.json for the raw snapshot"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-linger",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help=(
+            "keep the metrics endpoint up this long after the run "
+            "finishes (for scrapers; default: 0)"
+        ),
+    )
+    parser.add_argument(
         "--store",
         default=None,
         help="result store directory (replay mode)",
@@ -175,6 +198,32 @@ class _EventPrinter:
             print(event.describe())
         elif self.seen == self.limit + 1:
             print(f"... (further events suppressed; --events -1 for all)")
+
+
+def _open_metrics(port: Optional[int], json_mode: bool):
+    """Stand up the shared registry + HTTP endpoint for one invocation.
+
+    One registry per invocation (replay mode reuses it across jobs:
+    counters accumulate, per-engine gauges reflect the latest job)."""
+    if port is None:
+        return None, None
+    from repro.obs.metrics import MetricsRegistry
+
+    registry = MetricsRegistry()
+    server = MetricsServer(registry, port=port)
+    if not json_mode:
+        print(f"metrics: {server.url}")
+    return registry, server
+
+
+def _close_metrics(server: Optional[MetricsServer], linger: float) -> None:
+    if server is None:
+        return
+    if linger > 0:
+        # Give external scrapers (the CI smoke, a Prometheus poll) a
+        # window to collect the final state before the endpoint drops.
+        time.sleep(linger)
+    server.close()
 
 
 def _subscribe_for_output(
@@ -266,38 +315,50 @@ def run_fresh(
     backend: str = BACKEND_INLINE,
     shards: int = 2,
     transport: str = "pipe",
+    metrics_port: Optional[int] = None,
+    metrics_linger: float = 0.0,
 ) -> int:
     """Fresh mode: build the world, drip-stream its campaign, report."""
-    session = LocalizationSession(
-        _session_config(job, backend, shards, transport)
-    )
-    _subscribe_for_output(session, event_limit, json_mode)
-    world = session.world
-    if not json_mode:
-        print(
-            f"streaming {job.preset!r} (seed {job.seed}, "
-            f"{session.config.execution.backend} backend): "
-            f"{len(world.vantage_points)} vantage points, "
-            f"{len(world.test_list)} URLs"
+    registry, server = _open_metrics(metrics_port, json_mode)
+    try:
+        session = LocalizationSession(
+            _session_config(job, backend, shards, transport)
         )
-    outcome = session.stream()
-    verified: Optional[bool] = None
-    if verify:
-        batch = world.pipeline(job.pipeline_config()).run(outcome.dataset)
-        verified = batch.to_dict() == outcome.result.to_dict()
-    if json_mode:
-        payload = _summary_payload(session, world)
-        if verified is not None:
-            payload["batch_equivalent"] = verified
-        print(json.dumps(payload, indent=1, sort_keys=True))
-    else:
-        _print_summary(session, world)
-        if verified is not None:
+        _subscribe_for_output(session, event_limit, json_mode)
+        if registry is not None:
+            session.enable_metrics(registry)
+        world = session.world
+        if not json_mode:
             print(
-                "batch equivalence: "
-                + ("byte-identical" if verified else "MISMATCH")
+                f"streaming {job.preset!r} (seed {job.seed}, "
+                f"{session.config.execution.backend} backend): "
+                f"{len(world.vantage_points)} vantage points, "
+                f"{len(world.test_list)} URLs"
             )
-    return 0 if verified in (None, True) else 1
+        outcome = session.stream()
+        verified: Optional[bool] = None
+        if verify:
+            batch = world.pipeline(job.pipeline_config()).run(
+                outcome.dataset
+            )
+            verified = batch.to_dict() == outcome.result.to_dict()
+        if json_mode:
+            payload = _summary_payload(session, world)
+            if verified is not None:
+                payload["batch_equivalent"] = verified
+            if registry is not None:
+                payload["metrics"] = registry.snapshot()
+            print(json.dumps(payload, indent=1, sort_keys=True))
+        else:
+            _print_summary(session, world)
+            if verified is not None:
+                print(
+                    "batch equivalence: "
+                    + ("byte-identical" if verified else "MISMATCH")
+                )
+        return 0 if verified in (None, True) else 1
+    finally:
+        _close_metrics(server, metrics_linger)
 
 
 def run_replay(
@@ -308,6 +369,8 @@ def run_replay(
     backend: str = BACKEND_INLINE,
     shards: int = 2,
     transport: str = "pipe",
+    metrics_port: Optional[int] = None,
+    metrics_linger: float = 0.0,
 ) -> int:
     """Replay mode: stream every job of a persisted sweep, verifying."""
     store = ResultStore(store_dir)
@@ -315,6 +378,20 @@ def run_replay(
     jobs = spec.expand()
     failures = 0
     payloads: List[Dict[str, Any]] = []
+    registry, server = _open_metrics(metrics_port, json_mode)
+    try:
+        return _run_replay_jobs(
+            store, name, jobs, event_limit, json_mode, backend, shards,
+            transport, registry, failures, payloads,
+        )
+    finally:
+        _close_metrics(server, metrics_linger)
+
+
+def _run_replay_jobs(
+    store, name, jobs, event_limit, json_mode, backend, shards,
+    transport, registry, failures, payloads,
+) -> int:
     for job in jobs:
         if not json_mode:
             print(f"replaying {job.label} ...")
@@ -322,6 +399,8 @@ def run_replay(
             _session_config(job, backend, shards, transport)
         )
         _subscribe_for_output(session, event_limit, json_mode)
+        if registry is not None:
+            session.enable_metrics(registry)
         outcome = session.replay_stored(store, job)
         world = outcome.world
         if json_mode:
@@ -344,8 +423,10 @@ def run_replay(
         if outcome.verified is False:
             failures += 1
     if json_mode:
-        print(json.dumps({"sweep": name, "jobs": payloads}, indent=1,
-                         sort_keys=True))
+        document: Dict[str, Any] = {"sweep": name, "jobs": payloads}
+        if registry is not None:
+            document["metrics"] = registry.snapshot()
+        print(json.dumps(document, indent=1, sort_keys=True))
     return 1 if failures else 0
 
 
@@ -366,6 +447,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 backend=args.backend,
                 shards=args.shards,
                 transport=args.transport,
+                metrics_port=args.metrics_port,
+                metrics_linger=args.metrics_linger,
             )
         return run_fresh(
             job_from_args(args),
@@ -375,6 +458,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             backend=args.backend,
             shards=args.shards,
             transport=args.transport,
+            metrics_port=args.metrics_port,
+            metrics_linger=args.metrics_linger,
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

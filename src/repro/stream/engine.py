@@ -36,6 +36,7 @@ from repro.core.pipeline import PipelineConfig, PipelineResult, assemble_result
 from repro.core.problem import ProblemSolution, ProblemSolveCache, SolutionStatus
 from repro.core.splitting import ProblemKey, window_start
 from repro.iclab.measurement import Measurement
+from repro.obs.metrics import MetricsRegistry
 from repro.stream.events import Subscriber, VerdictEvent, VerdictKind
 from repro.stream.state import ProblemState, StreamStats
 from repro.topology.ip2as import IpToAsDatabase
@@ -79,6 +80,7 @@ class StreamingLocalizer:
         country_by_asn: Dict[int, str],
         config: PipelineConfig = PipelineConfig(),
         late_policy: str = LATE_REOPEN,
+        metrics: Optional[MetricsRegistry] = None,
     ) -> None:
         if late_policy not in (LATE_REOPEN, LATE_ERROR):
             raise ValueError(f"unknown late policy: {late_policy!r}")
@@ -108,6 +110,47 @@ class StreamingLocalizer:
         self._conversion_cache: Dict = {}
         self._drained: Optional[PipelineResult] = None
         self._last_measurement_id: Optional[int] = None
+        self._metrics: Optional[MetricsRegistry] = None
+        self._event_counters: Dict = {}
+        if metrics is not None:
+            self.attach_metrics(metrics)
+
+    # -- observability ----------------------------------------------------
+
+    def attach_metrics(self, registry: MetricsRegistry) -> None:
+        """Export this engine's telemetry through ``registry``.
+
+        Hot paths stay untouched: everything the engine already counts
+        (:class:`StreamStats`, the solve cache's :class:`SolveStats`,
+        open/closed problem totals) is exported by a snapshot-time
+        *collector*, so steady-state ingestion pays nothing.  The only
+        live instruments are the per-kind verdict-event counters bumped
+        in ``_emit`` — which only runs with subscribers attached — and
+        the SAT-core counters the solve cache threads down to residual
+        CDCL solves.  One engine per registry; a restored engine
+        re-attaching replaces its predecessor's collector.
+        """
+        self._metrics = registry
+        self._event_counters = {}
+        self._cache.metrics = registry
+        registry.add_collector(self._collect_metrics, key="stream-engine")
+
+    def _collect_metrics(self, registry: MetricsRegistry) -> None:
+        gauge = registry.gauge
+        for name, value in self.stats.as_dict().items():
+            gauge(f"repro_stream_{name}").set(value)
+        gauge("repro_stream_open_problems").set(self.open_problems)
+        gauge("repro_stream_closed_problems").set(self.closed_problems)
+        solve = self._cache.stats
+        for name, value in solve.as_dict().items():
+            gauge(f"repro_solve_{name}").set(value)
+        if solve.problems:
+            gauge("repro_solve_signature_hit_ratio").set(
+                solve.signature_hits / solve.problems
+            )
+            gauge("repro_solve_propagation_ratio").set(
+                solve.propagation_decided / solve.problems
+            )
 
     # -- subscriptions ----------------------------------------------------
 
@@ -117,6 +160,16 @@ class StreamingLocalizer:
 
     def _emit(self, event: VerdictEvent) -> None:
         self.stats.events_emitted += 1
+        if self._metrics is not None:
+            counter = self._event_counters.get(event.kind)
+            if counter is None:
+                counter = self._event_counters[event.kind] = (
+                    self._metrics.counter(
+                        "repro_events_total",
+                        {"event_kind": event.kind.value},
+                    )
+                )
+            counter.inc()
         for subscriber in self._subscribers:
             subscriber(event)
 

@@ -7,7 +7,17 @@ through the platform, the path oracle, and the localization pipeline so a
 job run can report *where* its time went — the data behind the runner's
 ``perf`` report and the performance trajectory in ``BENCH_*.json``.
 
-Design constraints:
+Since the observability layer landed, a timer is an **adapter view over a
+:class:`~repro.obs.metrics.MetricsRegistry`**: stages live as
+``repro_stage_seconds``/``repro_stage_calls`` counters labeled by stage,
+``count()`` values as registry counters, and ``set_counter()`` values as
+registry *gauges* — which is what fixed the historical merge bug where
+overwrite-semantics counters were folded with ``+=`` and double-counted
+when sharded snapshots were combined.  Pass a shared registry to surface
+stage timings on the same exposition endpoint as everything else; the
+default is a private one, and the legacy API is preserved verbatim.
+
+Design constraints (unchanged):
 
 - **Zero cost when absent.**  Every instrumented component holds
   ``timer: Optional[StageTimer] = None`` and guards with a truth test, so
@@ -22,7 +32,13 @@ from __future__ import annotations
 
 import time
 from contextlib import contextmanager
-from typing import Any, Callable, Dict, Iterator, Optional
+from typing import Any, Callable, Dict, Iterator, Optional, Tuple
+
+from repro.obs.metrics import Counter, Gauge, MetricsRegistry
+
+# Registry names the adapter stores stages under (labeled by stage).
+STAGE_SECONDS = "repro_stage_seconds"
+STAGE_CALLS = "repro_stage_calls"
 
 
 class StageTimer:
@@ -35,13 +51,29 @@ class StageTimer:
     1.5
     """
 
-    __slots__ = ("_clock", "_seconds", "_calls", "_counters")
+    __slots__ = ("_clock", "registry", "_stages", "_counters", "_gauges")
 
-    def __init__(self, clock: Callable[[], float] = time.perf_counter) -> None:
+    def __init__(
+        self,
+        clock: Optional[Callable[[], float]] = None,
+        registry: Optional[MetricsRegistry] = None,
+    ) -> None:
+        # Clock resolution: explicit argument, else the shared registry's
+        # (so an injected test clock drives the timer too), else wall.
+        if clock is None:
+            clock = (
+                registry.clock if registry is not None
+                else time.perf_counter
+            )
         self._clock = clock
-        self._seconds: Dict[str, float] = {}
-        self._calls: Dict[str, int] = {}
-        self._counters: Dict[str, int] = {}
+        self.registry = (
+            registry if registry is not None else MetricsRegistry(clock)
+        )
+        # Per-name handle memos: the hot paths (thousands of add() calls
+        # per campaign) pay one dict lookup, not a registry get-or-create.
+        self._stages: Dict[str, Tuple[Counter, Counter]] = {}
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
 
     # -- stages ----------------------------------------------------------
 
@@ -54,6 +86,16 @@ class StageTimer:
         finally:
             self.add(name, self._clock() - started)
 
+    def _stage_handles(self, name: str) -> Tuple[Counter, Counter]:
+        handles = self._stages.get(name)
+        if handles is None:
+            labels = {"stage": name}
+            handles = self._stages[name] = (
+                self.registry.counter(STAGE_SECONDS, labels),
+                self.registry.counter(STAGE_CALLS, labels),
+            )
+        return handles
+
     def add(self, name: str, seconds: float, calls: int = 1) -> None:
         """Accumulate ``seconds`` under ``name`` without a context manager.
 
@@ -61,52 +103,83 @@ class StageTimer:
         per campaign) where generator-based context managers would be the
         overhead being measured.
         """
-        self._seconds[name] = self._seconds.get(name, 0.0) + seconds
-        self._calls[name] = self._calls.get(name, 0) + calls
+        seconds_handle, calls_handle = self._stage_handles(name)
+        seconds_handle.inc(seconds)
+        calls_handle.inc(calls)
 
     def seconds(self, name: str) -> float:
         """Accumulated seconds under ``name`` (0.0 when never hit)."""
-        return self._seconds.get(name, 0.0)
+        handles = self._stages.get(name)
+        return handles[0].value if handles is not None else 0.0
 
     def calls(self, name: str) -> int:
         """Number of accumulations under ``name``."""
-        return self._calls.get(name, 0)
+        handles = self._stages.get(name)
+        return handles[1].value if handles is not None else 0
 
     # -- counters --------------------------------------------------------
 
     def count(self, name: str, value: int = 1) -> None:
         """Bump the free-form counter ``name`` by ``value``."""
-        self._counters[name] = self._counters.get(name, 0) + value
+        handle = self._counters.get(name)
+        if handle is None:
+            handle = self._counters[name] = self.registry.counter(name)
+        handle.inc(value)
 
     def set_counter(self, name: str, value: int) -> None:
-        """Set the counter ``name`` to ``value`` (overwrite semantics)."""
-        self._counters[name] = value
+        """Set ``name`` to ``value`` (overwrite semantics — a gauge).
+
+        Gauges merge by overwrite, not addition: a table size reported by
+        every shard must survive :meth:`merge` once, not ``shards`` times.
+        """
+        handle = self._gauges.get(name)
+        if handle is None:
+            handle = self._gauges[name] = self.registry.gauge(name)
+        handle.set(value)
 
     def counter(self, name: str) -> int:
         """The current value of counter ``name`` (0 when never set)."""
-        return self._counters.get(name, 0)
+        handle = self._counters.get(name)
+        if handle is not None:
+            return handle.value
+        gauge = self._gauges.get(name)
+        return gauge.value if gauge is not None else 0
 
     # -- reporting -------------------------------------------------------
 
     def snapshot(self) -> Dict[str, Any]:
-        """A JSON-compatible dump: stage seconds/calls plus counters."""
+        """A JSON-compatible dump: stage seconds/calls, counters, gauges."""
         return {
             "stages": {
                 name: {
-                    "seconds": self._seconds[name],
-                    "calls": self._calls.get(name, 0),
+                    "seconds": self._stages[name][0].value,
+                    "calls": self._stages[name][1].value,
                 }
-                for name in sorted(self._seconds)
+                for name in sorted(self._stages)
             },
-            "counters": dict(sorted(self._counters.items())),
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "gauges": {
+                name: self._gauges[name].value
+                for name in sorted(self._gauges)
+            },
         }
 
     def merge(self, snapshot: Dict[str, Any]) -> None:
-        """Fold a :meth:`snapshot` (e.g. from another job) into this timer."""
+        """Fold a :meth:`snapshot` (e.g. from another job) into this timer.
+
+        Stages and counters accumulate; gauges overwrite (last write
+        wins).  Legacy snapshots (no ``"gauges"`` section) fold every
+        counter additively, exactly as before.
+        """
         for name, entry in snapshot.get("stages", {}).items():
             self.add(name, entry.get("seconds", 0.0), entry.get("calls", 0))
         for name, value in snapshot.get("counters", {}).items():
             self.count(name, value)
+        for name, value in snapshot.get("gauges", {}).items():
+            self.set_counter(name, value)
 
 
 def maybe_stage(timer: Optional[StageTimer], name: str):

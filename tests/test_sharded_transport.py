@@ -118,12 +118,29 @@ class TestWireCodec:
     def test_hello_handshake(self):
         config = SessionConfig(preset="tiny").to_dict()
         frame = wire.hello_frame(3, config, True)
-        index, payload, want_events = wire.check_hello(frame)
-        assert (index, want_events) == (3, True)
+        index, payload, want_events, options = wire.check_hello(frame)
+        assert (index, want_events, options) == (3, True, {})
         assert SessionConfig.from_dict(payload) == SessionConfig(
             preset="tiny"
         )
         wire.check_hello_ack(("hello", wire.WIRE_FORMAT))
+
+    def test_hello_options_round_trip(self):
+        config = SessionConfig(preset="tiny").to_dict()
+        frame = wire.hello_frame(
+            0, config, False, {"metrics": True, "ack": True}
+        )
+        _, _, _, options = wire.check_hello(frame)
+        assert options == {"metrics": True, "ack": True}
+        # Format-1 shaped hellos (no options element) still parse.
+        _, _, _, options = wire.check_hello(
+            ("hello", wire.WIRE_FORMAT, 1, config, True)
+        )
+        assert options == {}
+
+    def test_frame_trace(self):
+        assert wire.frame_trace(("obs", ())) is None
+        assert wire.frame_trace(("obs", (), (7, 1.5, 900))) == (7, 1.5, 900)
 
     def test_version_mismatch_rejected(self):
         bad = ("hello", wire.WIRE_FORMAT + 1, 0, {}, False)
