@@ -259,6 +259,84 @@ def test_micro_metrics_overhead(benchmark, bench_world, bench_dataset):
     benchmark.extra_info["overhead_pct"] = round(overhead * 100, 2)
 
 
+def test_micro_obs_overhead(benchmark, bench_world, bench_dataset):
+    """Cost of structured logging + span recording on the hot ingest path.
+
+    Same protocol as ``test_micro_metrics_overhead``: the 2000-observation
+    slice drains bare vs. with the full observability plane on — ``repro``
+    logging configured at info into an in-memory sink and a
+    :class:`SpanRecorder` attached to the engine.  Disabled is the
+    default state (library ``NullHandler``, no recorder): its only cost
+    is a level check and a ``None`` branch per event, i.e. noise.
+    Enabled, the per-observation cost is bounded by the logging level
+    gate (window closes log at debug, below the configured level) and
+    one span per window close — the budget is <5% on an idle machine,
+    with the same generous 15% tripwire as the metrics bench for noisy
+    CI boxes.
+    """
+    import io
+    import logging
+    import time as time_module
+
+    from repro.obs import log as obslog
+    from repro.obs.spans import SpanRecorder
+
+    observations, _ = build_observations(bench_dataset, bench_world.ip2as)
+    feed = observations[: min(len(observations), 2000)]
+    log = obslog.get_logger("bench.obs")
+
+    def drain(spans):
+        engine = StreamingLocalizer(
+            bench_world.ip2as,
+            bench_world.country_by_asn,
+            config=PipelineConfig(),
+        )
+        if spans is not None:
+            engine.attach_spans(spans)
+        engine.subscribe(lambda event: None)
+        for observation in feed:
+            engine.ingest_observation(observation)
+        result = engine.drain()
+        log.info(
+            "bench.drain", extra=obslog.fields(observations=len(feed))
+        )
+        return result
+
+    drain(None)                         # warm caches before timing
+    baseline = min(
+        (lambda t0: (drain(None), time_module.perf_counter() - t0)[1])(
+            time_module.perf_counter()
+        )
+        for _ in range(3)
+    )
+    recorders = []
+
+    def instrumented_drain():
+        recorders.append(SpanRecorder())
+        return drain(recorders[-1])
+
+    root = obslog.configure(level="info", json_lines=True, stream=io.StringIO())
+    try:
+        instrumented = benchmark.pedantic(
+            instrumented_drain, rounds=3, iterations=1
+        )
+    finally:
+        for handler in list(root.handlers):
+            if getattr(handler, "_repro_configured", False):
+                root.removeHandler(handler)
+        root.setLevel(logging.NOTSET)
+    bare = drain(None)
+    assert instrumented.to_dict() == bare.to_dict()
+    assert recorders[-1].snapshot(), "no spans recorded while enabled"
+    mean_seconds = benchmark.stats.stats.mean
+    overhead = mean_seconds / baseline - 1.0
+    assert overhead < 0.15, f"logging+span overhead {overhead:.1%}"
+    benchmark.extra_info["observations"] = len(feed)
+    benchmark.extra_info["baseline_ms"] = round(baseline * 1000, 2)
+    benchmark.extra_info["overhead_pct"] = round(overhead * 100, 2)
+    benchmark.extra_info["spans"] = len(recorders[-1].snapshot())
+
+
 def test_micro_checkpoint_roundtrip(benchmark, bench_world, bench_dataset):
     """Checkpoint/restore round-trip cost on a loaded engine.
 

@@ -74,7 +74,11 @@ from repro.core.problem import SolutionStatus, SolveStats
 from repro.core.splitting import ProblemKey, window_start
 from repro.iclab.dataset import Dataset
 from repro.iclab.measurement import Measurement
+from repro.obs import log as obslog
+from repro.obs import recorder as obsrecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import SpanRecorder, TRACK_WORKER, shard_track
 from repro.obs.trace import TraceContext, Tracer
 from repro.stream.checkpoint import (
     STATE_FORMAT,
@@ -111,6 +115,9 @@ from repro.api.transport import (
 # bounds parent-side queue memory without serializing the pipeline.
 MAX_OUTSTANDING = 8
 
+_log = obslog.get_logger("api.backends")
+_worker_log = obslog.get_logger("api.worker")
+
 # Consecutive respawn failures before recovery gives up on a shard.
 RECOVERY_ATTEMPTS = 3
 
@@ -137,10 +144,14 @@ class BackendContext:
     ip2as: Any                      # IpToAsDatabase; None for replay-only
     country_by_asn: Dict[int, str]
     subscribers: List[Subscriber] = field(default_factory=list)
-    # Optional observability registry (session.enable_metrics()); bound
-    # at backend creation like subscribers.  Telemetry only — never
-    # consulted by any result-producing path.
+    # Optional observability plane (session.enable_metrics() /
+    # enable_tracing() / enable_flight_recorder()); bound at backend
+    # creation like subscribers.  Telemetry only — never consulted by
+    # any result-producing path.
     metrics: Optional[MetricsRegistry] = None
+    spans: Optional[SpanRecorder] = None
+    flight: Optional[FlightRecorder] = None
+    flight_dir: Optional[str] = None
 
 
 class ExecutionBackend(abc.ABC):
@@ -221,6 +232,8 @@ class InlineBackend(ExecutionBackend):
             late_policy=config.execution.late_policy,
             metrics=context.metrics,
         )
+        if context.spans is not None:
+            self.engine.attach_spans(context.spans)
         if context.subscribers:
             self.engine.subscribe(self._dispatch)
 
@@ -305,6 +318,8 @@ class InlineBackend(ExecutionBackend):
         )
         if self.context.metrics is not None:
             self.engine.attach_metrics(self.context.metrics)
+        if self.context.spans is not None:
+            self.engine.attach_spans(self.context.spans)
         if self.context.subscribers:
             self.engine.subscribe(self._dispatch)
 
@@ -358,7 +373,9 @@ def run_shard_worker(transport: ShardTransport) -> None:
         transport.close()
         return
     try:
-        _, config_payload, want_events, options = wire.check_hello(hello)
+        index, config_payload, want_events, options = wire.check_hello(
+            hello
+        )
     except wire.WireFormatError as exc:
         try:
             transport.send(("error", str(exc)))
@@ -374,9 +391,19 @@ def run_shard_worker(transport: ShardTransport) -> None:
     # worker-local registry — shipped back shard-labeled in the drain
     # telemetry — and "ack" asks for an empty events reply per obs chunk
     # even with no subscribers, which is how the parent measures ingest
-    # lag without turning verdict computation on.
+    # lag without turning verdict computation on.  "spans" arms a
+    # worker-local span recorder (also shipped home at drain), and
+    # "flight_dir" a worker-local flight recorder dumped there on an
+    # unhandled engine exception.
     registry = MetricsRegistry() if options.get("metrics") else None
     want_acks = bool(options.get("ack"))
+    spans = SpanRecorder() if options.get("spans") else None
+    flight_dir = options.get("flight_dir")
+    flight = None
+    if flight_dir:
+        flight = obsrecorder.install(FlightRecorder())
+        transport.attach_recorder(flight, shard=index)
+    obslog.bind(shard=index, role="worker")
     chunk_seconds = queue_delay = None
     if registry is not None:
         transport.attach_metrics(registry, {"role": "worker"})
@@ -393,6 +420,8 @@ def run_shard_worker(transport: ShardTransport) -> None:
             late_policy=late_policy,
             metrics=registry,
         )
+        if spans is not None:
+            engine.attach_spans(spans, track=TRACK_WORKER)
         if want_events:
             engine.subscribe(events.append)
         return engine
@@ -414,10 +443,22 @@ def run_shard_worker(transport: ShardTransport) -> None:
                             max(0.0, time.perf_counter() - context[1])
                         )
                     chunk_started = time.perf_counter()
+                span_started = (
+                    spans.clock() if spans is not None else None
+                )
                 ingest = engine.ingest_observation
                 from_wire = wire.observation_from_wire
                 for payload in message[1]:
                     ingest(from_wire(payload))
+                if spans is not None:
+                    spans.record(
+                        "chunk.ingest",
+                        start=span_started,
+                        duration=spans.clock() - span_started,
+                        category="worker",
+                        track=TRACK_WORKER,
+                        observations=len(message[1]),
+                    )
                 if registry is not None:
                     chunk_seconds.observe(
                         time.perf_counter() - chunk_started
@@ -445,13 +486,26 @@ def run_shard_worker(transport: ShardTransport) -> None:
                 )
                 if registry is not None:
                     engine.attach_metrics(registry)
+                if spans is not None:
+                    engine.attach_spans(spans, track=TRACK_WORKER)
                 if want_events:
                     engine.subscribe(events.append)
                 transport.send(("ok",))
             elif kind == "drain":
-                engine.close_all()
+                if spans is not None:
+                    with spans.span(
+                        "engine.drain",
+                        category="engine",
+                        track=TRACK_WORKER,
+                    ):
+                        engine.close_all()
+                else:
+                    engine.close_all()
                 transport.send(
-                    ("drain", _drain_payload(engine, events, registry))
+                    (
+                        "drain",
+                        _drain_payload(engine, events, registry, spans),
+                    )
                 )
             elif kind == "stop":
                 break
@@ -460,11 +514,22 @@ def run_shard_worker(transport: ShardTransport) -> None:
     except EOFError:  # parent died; nothing to report to
         pass
     except Exception:  # noqa: BLE001 - ship the failure upstream
+        # Crash context must survive even if the error frame never
+        # reaches a subscriber: log the full traceback through the
+        # structured logger, and dump the flight recorder if armed.
+        formatted = traceback.format_exc()
+        _worker_log.error(
+            "worker.error", extra=obslog.fields(traceback=formatted)
+        )
+        if flight is not None:
+            flight.dump(
+                flight_dir, reason=f"shard-{index}-engine-exception"
+            )
         try:
             pending = _take_events(events)
             if pending:
                 transport.send(("events", pending))
-            transport.send(("error", traceback.format_exc()))
+            transport.send(("error", formatted))
         except OSError:
             pass
     finally:
@@ -489,6 +554,7 @@ def _drain_payload(
     engine: StreamingLocalizer,
     events: List[VerdictEvent],
     registry: Optional[MetricsRegistry] = None,
+    spans: Optional[SpanRecorder] = None,
 ) -> Tuple:
     """(events, problems, stats, confirmed, identifications, telemetry).
 
@@ -499,9 +565,16 @@ def _drain_payload(
     reconstruction.
 
     The trailing telemetry dict (format 2) is side-band: solve-cache
-    counters always, plus the worker's metrics snapshot when the hello
-    enabled one.  Parents on the old 5-tuple contract ignore it; nothing
-    in it ever reaches the canonical :class:`PipelineResult`."""
+    counters always, plus the worker's metrics snapshot and span log
+    when the hello enabled them.  Parents on the old 5-tuple contract
+    ignore it; nothing in it ever reaches the canonical
+    :class:`PipelineResult`."""
+    telemetry: Dict[str, Any] = {
+        "solve_stats": engine.solve_stats.as_dict(),
+        "metrics": registry.snapshot() if registry is not None else None,
+    }
+    if spans is not None:
+        telemetry["spans"] = spans.snapshot()
     return (
         _take_events(events),
         tuple(
@@ -517,10 +590,7 @@ def _drain_payload(
             identification_to_dict(identification)
             for identification in engine.identifications
         ],
-        {
-            "solve_stats": engine.solve_stats.as_dict(),
-            "metrics": registry.snapshot() if registry is not None else None,
-        },
+        telemetry,
     )
 
 
@@ -569,6 +639,16 @@ class _ShardWorker:
             args=(self.transport, self.queue),
             daemon=True,
         ).start()
+        _log.info(
+            "shard.spawn",
+            extra=obslog.fields(
+                shard=self.index,
+                transport=self.transport.kind,
+                pid=(
+                    self.process.pid if self.process is not None else None
+                ),
+            ),
+        )
         self.transport.send(self._backend._hello(self.index))
         self.outstanding += 1           # the hello ack
 
@@ -722,6 +802,11 @@ class _ShardMetrics:
         "duplicates",
         "verdict_latency",
         "encode_seconds",
+        "up",
+        "seconds_since_ack",
+        "last_ack_clock",
+        "last_send_clock",
+        "_clock",
     )
 
     def __init__(
@@ -733,6 +818,14 @@ class _ShardMetrics:
         labels = {"shard": str(index)}
         self.sent_watermark: Optional[int] = None
         self.acked_watermark: Optional[int] = None
+        self._clock = registry.clock
+        self.last_ack_clock: Optional[float] = None
+        self.last_send_clock: Optional[float] = None
+        self.up = registry.gauge("repro_shard_up", labels)
+        self.up.set(1)
+        self.seconds_since_ack = registry.gauge(
+            "repro_shard_seconds_since_ack", labels
+        )
         self.ingest_lag = registry.gauge(
             "repro_shard_ingest_lag_seconds", labels
         )
@@ -778,6 +871,7 @@ class _ShardMetrics:
         Monotonic max: a recovery replay re-delivers old chunk replies
         whose echoed contexts carry stale watermarks — they must never
         move the ack line backwards."""
+        self.last_ack_clock = self._clock()
         if watermark is None:
             return
         if self.acked_watermark is None or watermark > self.acked_watermark:
@@ -837,6 +931,9 @@ class ShardedBackend(ExecutionBackend):
         # instruments, a tracer for verdict-latency spans, and the
         # highest buffered-but-unsent stream timestamp per shard.
         self._metrics = context.metrics
+        self._spans = context.spans
+        self._flight = context.flight
+        self._flight_dir = context.flight_dir or ".flight-recorder"
         self._tracer: Optional[Tracer] = None
         self._shard_metrics: Optional[List[_ShardMetrics]] = None
         self._buffer_max_ts: List[Optional[int]] = [None] * self.shards
@@ -846,8 +943,34 @@ class ShardedBackend(ExecutionBackend):
                 _ShardMetrics(self._metrics, index, self.transport_kind)
                 for index in range(self.shards)
             ]
+            self._metrics.add_collector(
+                self._collect_shard_health, key="sharded-backend"
+            )
         self._merged_solve_stats: Optional[SolveStats] = None
         self._worker_telemetry: List[Dict[str, Any]] = []
+
+    def _collect_shard_health(self, registry: MetricsRegistry) -> None:
+        """Snapshot-time liveness: how long each shard has gone without
+        acking while frames are outstanding.  Feeds ``/healthz`` — a
+        hung-but-alive worker shows up here, not in ``repro_shard_up``.
+        """
+        workers = self._workers
+        now = registry.clock()
+        for index, shard_metrics in enumerate(self._shard_metrics):
+            outstanding = (
+                workers[index].outstanding if workers is not None else 0
+            )
+            if outstanding <= 0:
+                shard_metrics.seconds_since_ack.set(0.0)
+                continue
+            mark = (
+                shard_metrics.last_ack_clock
+                if shard_metrics.last_ack_clock is not None
+                else shard_metrics.last_send_clock
+            )
+            shard_metrics.seconds_since_ack.set(
+                max(0.0, now - mark) if mark is not None else 0.0
+            )
 
     # -- worker lifecycle --------------------------------------------------
 
@@ -855,13 +978,17 @@ class ShardedBackend(ExecutionBackend):
         # With metrics on, workers build their own registry (shipped
         # back at drain) and ack every obs chunk so ingest lag is
         # measurable even when no subscriber wants the events.
-        options = (
-            {"metrics": True, "ack": True}
-            if self._metrics is not None
-            else None
-        )
+        options: Dict[str, Any] = {}
+        if self._metrics is not None:
+            options["metrics"] = True
+            options["ack"] = True
+        if self._spans is not None:
+            options["spans"] = True
+        if self._flight is not None:
+            options["flight_dir"] = self._flight_dir
         return wire.hello_frame(
-            index, self._config_payload, self._want_events, options
+            index, self._config_payload, self._want_events,
+            options or None,
         )
 
     def _open_transport(self, index: int):
@@ -916,6 +1043,8 @@ class ShardedBackend(ExecutionBackend):
             transport.attach_metrics(
                 self._metrics, {"role": "parent", "shard": str(index)}
             )
+        if self._flight is not None:
+            transport.attach_recorder(self._flight, shard=index)
 
     def _ensure_workers(self) -> List[_ShardWorker]:
         if self._workers is None:
@@ -1135,6 +1264,7 @@ class ShardedBackend(ExecutionBackend):
                 shard_metrics.sent_watermark = watermark
             self._buffer_max_ts[shard] = None
             shard_metrics.chunks.inc()
+            shard_metrics.last_send_clock = started
             expects_reply = True        # the worker acks in metrics mode
         self._post_frame(worker, frame, expects_reply=expects_reply)
         self._buffers[shard] = []
@@ -1191,10 +1321,19 @@ class ShardedBackend(ExecutionBackend):
                     self._send_request(worker, resend)
                 continue
             if reply[0] == "error":
-                raise BackendError(
-                    f"shard {worker.index} failed:\n{reply[1]}"
-                )
+                self._raise_worker_error(worker, reply[1])
             return reply
+
+    def _raise_worker_error(self, worker: _ShardWorker, formatted: str):
+        """A worker shipped an error frame: narrate the full remote
+        traceback through the structured log, then surface it."""
+        _log.error(
+            "shard.error",
+            extra=obslog.fields(shard=worker.index, traceback=formatted),
+        )
+        raise BackendError(
+            f"shard {worker.index} failed:\n{formatted}"
+        )
 
     def _pump(self) -> None:
         """Drain every already-available worker reply (non-blocking)."""
@@ -1210,9 +1349,7 @@ class ShardedBackend(ExecutionBackend):
                     self._recover(worker)
                     break
                 if reply[0] == "error":
-                    raise BackendError(
-                        f"shard {worker.index} failed:\n{reply[1]}"
-                    )
+                    self._raise_worker_error(worker, reply[1])
                 self._handle_reply(worker, reply)
 
     def _handle_reply(self, worker: _ShardWorker, reply: Tuple) -> None:
@@ -1298,6 +1435,20 @@ class ShardedBackend(ExecutionBackend):
             histogram = self._shard_metrics[worker.index].verdict_latency
             for _ in fresh:
                 histogram.observe(latency)
+            if self._spans is not None:
+                # One parent-side span per delivered batch: ingest →
+                # shard queue → propagation → merge, both stamps on the
+                # parent's clock (TraceContext.started is clock-domain
+                # compatible only when span + metrics clocks agree,
+                # which Session.enable_tracing guarantees).
+                self._spans.record(
+                    "verdict.batch",
+                    start=context[1],
+                    duration=latency,
+                    category="fabric",
+                    track=shard_track(worker.index),
+                    events=len(fresh),
+                )
         if not self.context.subscribers:
             return
         for payload in fresh:
@@ -1320,11 +1471,35 @@ class ShardedBackend(ExecutionBackend):
         the events the dead one did, and ``_deliver`` drops the ones
         already handed out."""
         detail = worker.exit_description()
+        _log.warning(
+            "shard.death",
+            extra=obslog.fields(shard=worker.index, detail=detail),
+        )
+        if self._shard_metrics is not None:
+            self._shard_metrics[worker.index].up.set(0)
+        flight_dump = ""
+        if self._flight is not None:
+            # The dead worker cannot dump its own ring buffer, so the
+            # parent dumps *its* view: the shard's frame headers plus a
+            # summary of the replay log about to rebuild it.
+            flight_dump = self._flight.dump(
+                self._flight_dir,
+                reason=f"shard-{worker.index}-death",
+                extra={
+                    "shard": worker.index,
+                    "detail": detail,
+                    "replay_log": [
+                        {"size": len(frame), "expects_reply": expects}
+                        for frame, expects in worker.log
+                    ],
+                },
+            )
         if not self._recovery:
             raise BackendError(
                 f"shard {worker.index} died ({detail}); recovery is "
                 f"disabled by the execution policy"
             )
+        frames_replayed = len(worker.log)
         while True:
             # The failure budget lives on the worker and only resets when
             # a recovered incarnation *serves* something (a non-hello
@@ -1347,7 +1522,18 @@ class ShardedBackend(ExecutionBackend):
             if self._rebuild(worker):
                 self.recoveries += 1
                 if self._shard_metrics is not None:
-                    self._shard_metrics[worker.index].recoveries.inc()
+                    shard_metrics = self._shard_metrics[worker.index]
+                    shard_metrics.recoveries.inc()
+                    shard_metrics.up.set(1)
+                _log.info(
+                    "shard.recovery",
+                    extra=obslog.fields(
+                        shard=worker.index,
+                        attempt=worker.failures,
+                        frames_replayed=frames_replayed,
+                        flight_dump=flight_dump,
+                    ),
+                )
                 return
 
     def _rebuild(self, worker: _ShardWorker) -> bool:
@@ -1370,9 +1556,7 @@ class ShardedBackend(ExecutionBackend):
                     if reply is None:
                         return False
                     if reply[0] == "error":
-                        raise BackendError(
-                            f"shard {worker.index} failed:\n{reply[1]}"
-                        )
+                        self._raise_worker_error(worker, reply[1])
                     self._handle_reply(worker, reply)
         except OSError:
             return False
@@ -1449,12 +1633,19 @@ class ShardedBackend(ExecutionBackend):
     def drain(self) -> PipelineResult:
         if self._drained is not None:
             return self._drained
-        payloads = self._collect(("drain",), "drain")
+        if self._spans is not None:
+            with self._spans.span("drain.collect", category="fabric"):
+                payloads = self._collect(("drain",), "drain")
+        else:
+            payloads = self._collect(("drain",), "drain")
         for worker in self._workers:
             worker.request_stop()   # workers exit while the parent merges
         # Keyed on the (frozen, hashable) ProblemKey objects themselves:
         # the unpickled worker keys equal the tracker's, and enum fields
         # resolve to the same singletons — no id-tuple re-derivation.
+        merge_started = (
+            self._spans.clock() if self._spans is not None else None
+        )
         solutions_by_key: Dict[ProblemKey, Optional[Any]] = {}
         counter_payloads = []
         for worker, payload in zip(self._workers, payloads):
@@ -1502,6 +1693,14 @@ class ShardedBackend(ExecutionBackend):
         self._drained = assemble_result(
             solutions, groups, self._discard, self.context.country_by_asn
         )
+        if self._spans is not None:
+            self._spans.record(
+                "drain.merge",
+                start=merge_started,
+                duration=self._spans.clock() - merge_started,
+                category="fabric",
+                problems=len(solutions_by_key),
+            )
         self.close()
         return self._drained
 
@@ -1527,6 +1726,9 @@ class ShardedBackend(ExecutionBackend):
             self._metrics.merge(
                 snapshot, extra_labels={"shard": str(index)}
             )
+        worker_spans = telemetry.get("spans")
+        if worker_spans and self._spans is not None:
+            self._spans.merge(worker_spans, track=shard_track(index))
         self._worker_telemetry.append({"shard": index, **telemetry})
 
     @property

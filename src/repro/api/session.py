@@ -47,7 +47,11 @@ from repro.core.observations import (
 from repro.core.pipeline import PipelineResult
 from repro.iclab.dataset import Dataset
 from repro.iclab.measurement import Measurement
+from repro.obs import log as obslog
+from repro.obs import recorder as obsrecorder
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+from repro.obs.spans import SpanRecorder
 from repro.runner.spec import JobSpec, SweepSpec
 from repro.scenario.world import World, build_world
 from repro.stream.events import Subscriber
@@ -61,6 +65,8 @@ from repro.api.backends import (
 )
 from repro.api.checkpoint import read_checkpoint, write_checkpoint
 from repro.api.config import ExecutionPolicy, SessionConfig
+
+_log = obslog.get_logger("api.session")
 
 
 @dataclass
@@ -103,6 +109,9 @@ class LocalizationSession:
         self._backend: Optional[ExecutionBackend] = None
         self._pending_state: Optional[Dict[str, Any]] = None
         self._metrics: Optional[MetricsRegistry] = None
+        self._spans: Optional[SpanRecorder] = None
+        self._flight: Optional[FlightRecorder] = None
+        self._flight_dir: Optional[str] = None
         # A world bound without an explicit config leaves self.config a
         # default that does NOT describe the world; fine for in-process
         # use, but a checkpoint written from it would restore the wrong
@@ -171,6 +180,9 @@ class LocalizationSession:
                     country_by_asn=self.country_by_asn,
                     subscribers=self._subscribers,
                     metrics=self._metrics,
+                    spans=self._spans,
+                    flight=self._flight,
+                    flight_dir=self._flight_dir,
                 )
             )
             if self._pending_state is not None:
@@ -227,6 +239,85 @@ class LocalizationSession:
         """The registry from :meth:`enable_metrics`, or None."""
         return self._metrics
 
+    def _require_unbound(self, what: str) -> None:
+        if self._backend is not None:
+            raise RuntimeError(
+                f"{what} must precede backend creation — the first "
+                "workload, ingestion, or checkpoint() call on this "
+                "session already bound its backend"
+            )
+
+    def enable_tracing(
+        self, recorder: Optional[SpanRecorder] = None
+    ) -> SpanRecorder:
+        """Attach a span recorder: real intervals, per track, exportable.
+
+        Like :meth:`enable_metrics`, must precede backend creation.
+        When metrics are already enabled the recorder shares the
+        registry's clock, so one injected ``FakeClock`` governs
+        histograms and spans together (call :meth:`enable_metrics`
+        first for that).  Telemetry only — results never change.
+        """
+        self._require_unbound("enable_tracing()")
+        if recorder is None:
+            clock = (
+                self._metrics.clock if self._metrics is not None else None
+            )
+            recorder = SpanRecorder(clock=clock)
+        self._spans = recorder
+        return recorder
+
+    @property
+    def spans(self) -> Optional[SpanRecorder]:
+        """The recorder from :meth:`enable_tracing`, or None."""
+        return self._spans
+
+    def export_trace(self, path: str) -> int:
+        """Write the run's spans as Chrome ``trace_event`` JSON.
+
+        Load the file at ``chrome://tracing`` or ``ui.perfetto.dev``.
+        Returns the span count.  Call after :meth:`drain` — a sharded
+        backend ships worker spans home inside the drain telemetry.
+        """
+        if self._spans is None:
+            raise RuntimeError(
+                "tracing is not enabled — call enable_tracing() before "
+                "the first workload"
+            )
+        count = self._spans.export(path)
+        _log.info(
+            "trace.export", extra=obslog.fields(path=str(path), spans=count)
+        )
+        return count
+
+    def enable_flight_recorder(
+        self,
+        directory: Optional[str] = None,
+        capacity: int = obsrecorder.DEFAULT_CAPACITY,
+    ) -> FlightRecorder:
+        """Arm the crash flight recorder for this process.
+
+        A bounded ring of recent wire-frame headers, log records, and
+        metric deltas, installed process-wide (the transport hooks and
+        the log plane find it without plumbing).  The parent dumps it
+        to ``directory`` (default ``.flight-recorder``) on worker death;
+        shard workers arm their own ring and dump on unhandled engine
+        exceptions.  Must precede backend creation.
+        """
+        self._require_unbound("enable_flight_recorder()")
+        recorder = FlightRecorder(capacity=capacity)
+        self._flight = recorder
+        self._flight_dir = (
+            directory if directory is not None else ".flight-recorder"
+        )
+        obsrecorder.install(recorder)
+        return recorder
+
+    @property
+    def flight_recorder(self) -> Optional[FlightRecorder]:
+        """The recorder from :meth:`enable_flight_recorder`, or None."""
+        return self._flight
+
     # -- one-shot workloads ------------------------------------------------
 
     def run(self, timer: Optional[StageTimer] = None) -> SessionOutcome:
@@ -280,6 +371,15 @@ class LocalizationSession:
             )
         world = self.world
         backend = self.backend
+        _log.info(
+            "session.stream.start",
+            extra=obslog.fields(
+                preset=self.config.preset,
+                seed=self.config.seed,
+                backend=self.config.execution.backend,
+                shards=self.config.execution.shards,
+            ),
+        )
         world.platform.add_listener(backend.ingest_measurement)
         try:
             dataset = world.platform.run_campaign(
@@ -410,7 +510,19 @@ class LocalizationSession:
 
     def drain(self) -> PipelineResult:
         """Close every window and assemble the final result."""
-        return self.backend.drain()
+        if self._spans is not None:
+            with self._spans.span("session.drain", category="session"):
+                result = self.backend.drain()
+        else:
+            result = self.backend.drain()
+        _log.info(
+            "session.drain",
+            extra=obslog.fields(
+                problems=len(result.solutions),
+                censors=len(result.identified_censor_asns),
+            ),
+        )
+        return result
 
     # -- checkpointing -----------------------------------------------------
 
@@ -429,9 +541,21 @@ class LocalizationSession:
                 "config to for_world()/world.session() before "
                 "checkpointing"
             )
-        return write_checkpoint(
-            path, self.config.to_dict(), self.backend.state()
+        if self._spans is not None:
+            with self._spans.span(
+                "checkpoint.write", category="session", path=str(path)
+            ):
+                written = write_checkpoint(
+                    path, self.config.to_dict(), self.backend.state()
+                )
+        else:
+            written = write_checkpoint(
+                path, self.config.to_dict(), self.backend.state()
+            )
+        _log.info(
+            "checkpoint.write", extra=obslog.fields(path=str(path))
         )
+        return written
 
     @classmethod
     def restore(
@@ -455,6 +579,14 @@ class LocalizationSession:
             config = dataclasses.replace(config, execution=execution)
         session = cls(config, world=world)
         session._pending_state = document["engine"]
+        _log.info(
+            "checkpoint.restore",
+            extra=obslog.fields(
+                path=str(path),
+                preset=config.preset,
+                backend=config.execution.backend,
+            ),
+        )
         return session
 
     # -- lifecycle / reporting ---------------------------------------------

@@ -28,7 +28,11 @@ import time
 from typing import Optional, Tuple
 
 from repro.api import wire
+from repro.obs import log as obslog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.recorder import FlightRecorder
+
+_log = obslog.get_logger("api.transport")
 
 # Length prefix: 4 bytes, big-endian — a single frame beyond 4 GiB is a
 # protocol bug, not a workload.
@@ -78,6 +82,8 @@ class ShardTransport(abc.ABC):
         self._m_encode = None
         self._m_decode = None
         self._m_clock = None
+        self._recorder: Optional[FlightRecorder] = None
+        self._recorder_shard: Optional[int] = None
 
     def attach_metrics(
         self,
@@ -121,17 +127,38 @@ class ShardTransport(abc.ABC):
         )
         self._m_clock = registry.clock
 
+    def attach_recorder(
+        self,
+        recorder: FlightRecorder,
+        shard: Optional[int] = None,
+    ) -> None:
+        """Feed this channel's frame headers into a flight recorder.
+
+        Headers only (direction, byte size, shard) — never payloads.
+        Like :meth:`attach_metrics`, attach before concurrent use.
+        """
+        self._recorder = recorder
+        self._recorder_shard = shard
+
     def _note_send(self, data: bytes) -> None:
         counters = self._m_send
         if counters is not None:
             counters[0].inc()
             counters[1].inc(len(data))
+        if self._recorder is not None:
+            self._recorder.note_frame(
+                "send", len(data), shard=self._recorder_shard
+            )
 
     def _note_recv(self, data: bytes) -> None:
         counters = self._m_recv
         if counters is not None:
             counters[0].inc()
             counters[1].inc(len(data))
+        if self._recorder is not None:
+            self._recorder.note_frame(
+                "recv", len(data), shard=self._recorder_shard
+            )
 
     @abc.abstractmethod
     def send_bytes(self, data: bytes) -> None:
@@ -277,7 +304,7 @@ class ShardListener:
         """Block for one worker connection; TransportError on timeout."""
         self._sock.settimeout(timeout)
         try:
-            conn, _ = self._sock.accept()
+            conn, peer = self._sock.accept()
         except socket.timeout:
             raise TransportError(
                 f"no shard worker connected to {self.address} within "
@@ -289,6 +316,10 @@ class ShardListener:
             ) from exc
         finally:
             self._sock.settimeout(None)
+        _log.info(
+            "transport.accept",
+            extra=obslog.fields(address=self.address, peer=str(peer[0])),
+        )
         return SocketTransport(conn)
 
     def close(self) -> None:
@@ -310,9 +341,11 @@ def connect_worker(
     host, port = parse_address(address)
     deadline = time.monotonic() + retry_for
     delay = 0.05
+    attempts = 0
     while True:
+        attempts += 1
         try:
-            return SocketTransport(
+            transport = SocketTransport(
                 socket.create_connection((host, port), timeout=10.0)
             )
         except OSError as exc:
@@ -323,6 +356,12 @@ def connect_worker(
                 ) from exc
             time.sleep(delay)
             delay = min(delay * 2, 1.0)
+            continue
+        _log.info(
+            "transport.connect",
+            extra=obslog.fields(address=address, attempts=attempts),
+        )
+        return transport
 
 
 __all__ = [

@@ -234,7 +234,8 @@ def hello_frame(
     everything a worker needs to build its engine.
 
     ``options`` (format 2) carries the observability switches:
-    ``{"metrics": bool, "ack": bool}``."""
+    ``{"metrics": bool, "ack": bool, "spans": bool, "flight_dir": str}``
+    — all optional, all telemetry-only."""
     return (
         "hello",
         WIRE_FORMAT,

@@ -8,6 +8,12 @@ the shard boundary, and Prometheus/JSON exposition
 (:mod:`repro.obs.export`) behind ``--metrics-port`` and
 ``repro-runner metrics``.
 
+On top of that numeric plane sits the narrative plane: structured
+JSON-line logging with bound context (:mod:`repro.obs.log`), real spans
+exportable as Chrome ``trace_event`` JSON (:mod:`repro.obs.spans`), a
+crash flight recorder (:mod:`repro.obs.recorder`), and live
+``/healthz`` / ``/statusz`` endpoints on the metrics server.
+
 Quickstart::
 
     from repro.api import LocalizationSession
@@ -32,27 +38,46 @@ from repro.obs.metrics import (
 )
 from repro.obs.trace import TraceContext, Tracer
 from repro.obs.export import (
+    ENDPOINTS,
     METRIC_CATALOG,
     MetricsServer,
+    health_document,
     parse_prometheus,
     render_prometheus,
     start_metrics_server,
+    status_document,
     validate_exposition,
 )
+from repro.obs.log import (
+    bound,
+    configure as configure_logging,
+    get_logger,
+)
+from repro.obs.spans import Span, SpanRecorder
+from repro.obs.recorder import FlightRecorder
 
 __all__ = [
     "DEFAULT_BUCKETS",
     "Counter",
+    "ENDPOINTS",
+    "FlightRecorder",
     "Gauge",
     "Histogram",
     "METRIC_CATALOG",
     "MetricsRegistry",
     "MetricsServer",
+    "Span",
+    "SpanRecorder",
     "TraceContext",
     "Tracer",
+    "bound",
+    "configure_logging",
+    "get_logger",
+    "health_document",
     "parse_prometheus",
     "render_prometheus",
     "series_key",
     "start_metrics_server",
+    "status_document",
     "validate_exposition",
 ]

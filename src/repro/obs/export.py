@@ -24,10 +24,19 @@ from __future__ import annotations
 import json
 import re
 import threading
+import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.obs.metrics import MetricsRegistry
+
+# Every path the HTTP server answers; the 404 body and the README both
+# quote this list, so it is the single source of truth.
+ENDPOINTS = ("/metrics", "/metrics.json", "/healthz", "/statusz")
+
+# A shard that has frames outstanding but has not acked for this many
+# wall seconds is considered stuck (``/healthz`` flips unhealthy).
+HEALTH_MAX_SILENCE = 60.0
 
 # name → (type, help).  Types: "counter" | "gauge" | "histogram".
 METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
@@ -90,6 +99,12 @@ METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
         "simulated stream seconds, per shard"),
     "repro_shard_queue_depth": (
         "gauge", "Un-acked frames outstanding to the shard"),
+    "repro_shard_up": (
+        "gauge", "1 while the shard's worker incarnation is healthy"),
+    "repro_shard_seconds_since_ack": (
+        "gauge",
+        "Wall seconds since the shard last acked a frame (0 when "
+        "nothing is outstanding)"),
     "repro_shard_buffered_observations": (
         "gauge", "Observations buffered parent-side for the shard"),
     "repro_shard_replay_log_frames": (
@@ -117,9 +132,46 @@ METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
 
 _NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
 _BAD_CHARS = re.compile(r"[^a-zA-Z0-9_:]")
+# A sample line.  The label block is matched quote-aware — a label value
+# may contain ``}`` or ``,`` inside its quotes (escaped per the 0.0.4
+# exposition rules), so ``[^}]*`` would split it in the wrong place.
 _LINE = re.compile(
-    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(\S+)$"
+    r'^([a-zA-Z_:][a-zA-Z0-9_:]*)'
+    r'(\{(?:[^"{}]|"(?:[^"\\]|\\.)*")*\})?\s+(\S+)$'
 )
+_LABEL_PAIR = re.compile(
+    r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"'
+)
+
+
+def escape_label_value(value: str) -> str:
+    """Exposition-format label escaping: ``\\`` , ``"`` and newline."""
+    return (
+        value.replace("\\", r"\\").replace('"', r"\"").replace("\n", r"\n")
+    )
+
+
+def unescape_label_value(value: str) -> str:
+    out: List[str] = []
+    index = 0
+    while index < len(value):
+        ch = value[index]
+        if ch == "\\" and index + 1 < len(value):
+            nxt = value[index + 1]
+            out.append({"n": "\n", "\\": "\\", '"': '"'}.get(nxt, ch + nxt))
+            index += 2
+        else:
+            out.append(ch)
+            index += 1
+    return "".join(out)
+
+
+def parse_label_block(block: str) -> Dict[str, str]:
+    """``{a="x",b="y"}`` → ``{"a": "x", "b": "y"}``, unescaped."""
+    return {
+        key: unescape_label_value(raw)
+        for key, raw in _LABEL_PAIR.findall(block)
+    }
 
 
 def sanitize_name(name: str) -> str:
@@ -136,7 +188,8 @@ def _render_labels(labels: Dict[str, str]) -> str:
     if not labels:
         return ""
     inner = ",".join(
-        f'{key}="{value}"' for key, value in sorted(labels.items())
+        f'{key}="{escape_label_value(str(value))}"'
+        for key, value in sorted(labels.items())
     )
     return f"{{{inner}}}"
 
@@ -266,6 +319,129 @@ def validate_exposition(
     return sorted(set(problems))
 
 
+# -- health / status ---------------------------------------------------------
+
+
+_SHARD_GAUGE_KEYS = {
+    "repro_shard_up": "up",
+    "repro_shard_queue_depth": "queue_depth",
+    "repro_shard_ingest_lag_seconds": "ingest_lag",
+    "repro_shard_seconds_since_ack": "seconds_since_ack",
+    "repro_shard_buffered_observations": "buffered",
+    "repro_shard_replay_log_frames": "replay_log_frames",
+}
+_SHARD_COUNTER_KEYS = {
+    "repro_shard_chunks_sent_total": "chunks_sent",
+    "repro_shard_recoveries_total": "recoveries",
+    "repro_shard_duplicate_events_total": "duplicate_events",
+}
+
+
+def shard_status(snapshot: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Per-shard operational view derived from the standard series.
+
+    Keyed by the ``shard`` label value (a string, as labels are); empty
+    for inline runs, which have no shard-labeled series.
+    """
+    shards: Dict[str, Dict[str, Any]] = {}
+
+    def slot(shard: str) -> Dict[str, Any]:
+        return shards.setdefault(shard, {})
+
+    for entry in snapshot.get("gauges", ()):
+        shard = entry.get("labels", {}).get("shard")
+        key = _SHARD_GAUGE_KEYS.get(entry["name"])
+        if shard is not None and key is not None:
+            slot(str(shard))[key] = entry["value"]
+    for entry in snapshot.get("counters", ()):
+        shard = entry.get("labels", {}).get("shard")
+        key = _SHARD_COUNTER_KEYS.get(entry["name"])
+        if shard is not None and key is not None:
+            slot(str(shard))[key] = entry["value"]
+    for entry in snapshot.get("histograms", ()):
+        if entry["name"] != "repro_verdict_latency_seconds":
+            continue
+        shard = entry.get("labels", {}).get("shard")
+        if shard is not None:
+            slot(str(shard))["verdicts"] = entry["count"]
+    return shards
+
+
+def health_problems(
+    snapshot: Dict[str, Any],
+    max_silence: float = HEALTH_MAX_SILENCE,
+) -> List[str]:
+    """Why the run is unhealthy; empty when everything is fine.
+
+    Two conditions, both per shard: the worker incarnation is down
+    (``repro_shard_up`` 0 — mid-recovery or past recovery budget), or
+    frames are outstanding and the worker has not acked for longer than
+    ``max_silence`` (a hung-but-alive worker, which liveness alone
+    cannot see).
+    """
+    problems: List[str] = []
+    for shard, view in sorted(shard_status(snapshot).items()):
+        if view.get("up", 1.0) == 0:
+            problems.append(f"shard {shard}: worker down")
+        silence = view.get("seconds_since_ack", 0.0)
+        if silence > max_silence and view.get("queue_depth", 0.0) > 0:
+            problems.append(
+                f"shard {shard}: no ack for {silence:.0f}s with "
+                f"{int(view.get('queue_depth', 0))} frames outstanding"
+            )
+    return problems
+
+
+def health_document(
+    snapshot: Dict[str, Any],
+    uptime: Optional[float] = None,
+    max_silence: float = HEALTH_MAX_SILENCE,
+) -> Dict[str, Any]:
+    """The ``/healthz`` body: ok/unhealthy plus the reasons."""
+    problems = health_problems(snapshot, max_silence=max_silence)
+    document: Dict[str, Any] = {
+        "status": "ok" if not problems else "unhealthy",
+        "problems": problems,
+        "shards": len(shard_status(snapshot)),
+    }
+    if uptime is not None:
+        document["uptime_seconds"] = round(uptime, 3)
+    return document
+
+
+def status_document(
+    snapshot: Dict[str, Any],
+    uptime: Optional[float] = None,
+    snapshot_age: Optional[float] = None,
+    max_silence: float = HEALTH_MAX_SILENCE,
+) -> Dict[str, Any]:
+    """The ``/statusz`` body: health, per-shard detail, event totals."""
+    events: Dict[str, float] = {}
+    for entry in snapshot.get("counters", ()):
+        if entry["name"] == "repro_events_total":
+            kind = entry.get("labels", {}).get("event_kind", "?")
+            events[kind] = events.get(kind, 0.0) + entry["value"]
+    stream: Dict[str, float] = {}
+    for entry in snapshot.get("gauges", ()):
+        name = entry["name"]
+        if name.startswith("repro_stream_"):
+            short = name[len("repro_stream_"):]
+            stream[short] = stream.get(short, 0.0) + entry["value"]
+    problems = health_problems(snapshot, max_silence=max_silence)
+    document: Dict[str, Any] = {
+        "status": "ok" if not problems else "unhealthy",
+        "problems": problems,
+        "shards": shard_status(snapshot),
+        "events": events,
+        "stream": stream,
+    }
+    if uptime is not None:
+        document["uptime_seconds"] = round(uptime, 3)
+    if snapshot_age is not None:
+        document["snapshot_age_seconds"] = round(snapshot_age, 3)
+    return document
+
+
 # -- HTTP exposition ---------------------------------------------------------
 
 
@@ -273,8 +449,10 @@ class MetricsServer:
     """One daemon-thread HTTP server over a registry.
 
     ``/metrics`` serves Prometheus text, ``/metrics.json`` the JSON
-    snapshot.  The snapshot is taken per request (collectors run), so a
-    scrape mid-run sees live values.
+    snapshot, ``/healthz`` liveness (HTTP 503 when unhealthy, so probes
+    need not parse the body), ``/statusz`` the full operational view.
+    The snapshot is taken per request (collectors run), so a scrape
+    mid-run sees live values.
     """
 
     def __init__(
@@ -282,27 +460,60 @@ class MetricsServer:
         registry: MetricsRegistry,
         port: int = 0,
         host: str = "127.0.0.1",
+        max_silence: float = HEALTH_MAX_SILENCE,
     ) -> None:
         self.registry = registry
+        self.max_silence = max_silence
+        self._started = time.monotonic()
+        self._last_snapshot_at: Optional[float] = None
 
         server = self
 
         class _Handler(BaseHTTPRequestHandler):
             def do_GET(self) -> None:  # noqa: N802 - stdlib casing
-                if self.path.split("?", 1)[0] == "/metrics":
+                path = self.path.split("?", 1)[0]
+                status = 200
+                if path == "/metrics":
                     body = render_prometheus(
-                        server.registry.snapshot()
+                        server._take_snapshot()
                     ).encode("utf-8")
                     content_type = "text/plain; version=0.0.4"
-                elif self.path.split("?", 1)[0] == "/metrics.json":
+                elif path == "/metrics.json":
                     body = json.dumps(
-                        server.registry.snapshot(), sort_keys=True
+                        server._take_snapshot(), sort_keys=True
                     ).encode("utf-8")
                     content_type = "application/json"
+                elif path == "/healthz":
+                    document = health_document(
+                        server._take_snapshot(),
+                        uptime=server.uptime,
+                        max_silence=server.max_silence,
+                    )
+                    if document["status"] != "ok":
+                        status = 503
+                    body = json.dumps(document, sort_keys=True).encode(
+                        "utf-8"
+                    )
+                    content_type = "application/json"
+                elif path == "/statusz":
+                    age = server.snapshot_age
+                    document = status_document(
+                        server._take_snapshot(),
+                        uptime=server.uptime,
+                        snapshot_age=age,
+                        max_silence=server.max_silence,
+                    )
+                    body = json.dumps(document, sort_keys=True).encode(
+                        "utf-8"
+                    )
+                    content_type = "application/json"
                 else:
-                    self.send_error(404, "try /metrics or /metrics.json")
+                    self.send_error(
+                        404,
+                        "unknown path; endpoints: " + ", ".join(ENDPOINTS),
+                    )
                     return
-                self.send_response(200)
+                self.send_response(status)
                 self.send_header("Content-Type", content_type)
                 self.send_header("Content-Length", str(len(body)))
                 self.end_headers()
@@ -318,6 +529,23 @@ class MetricsServer:
             target=self._httpd.serve_forever, daemon=True
         )
         self._thread.start()
+
+    def _take_snapshot(self) -> Dict[str, Any]:
+        snapshot = self.registry.snapshot()
+        self._last_snapshot_at = time.monotonic()
+        return snapshot
+
+    @property
+    def uptime(self) -> float:
+        """Wall seconds since the server started."""
+        return time.monotonic() - self._started
+
+    @property
+    def snapshot_age(self) -> Optional[float]:
+        """Seconds since the previous snapshot (None before the first)."""
+        if self._last_snapshot_at is None:
+            return None
+        return time.monotonic() - self._last_snapshot_at
 
     @property
     def address(self) -> str:
@@ -341,11 +569,20 @@ def start_metrics_server(
 
 
 __all__ = [
+    "ENDPOINTS",
+    "HEALTH_MAX_SILENCE",
     "METRIC_CATALOG",
     "MetricsServer",
+    "escape_label_value",
+    "health_document",
+    "health_problems",
+    "parse_label_block",
     "parse_prometheus",
     "render_prometheus",
     "sanitize_name",
+    "shard_status",
     "start_metrics_server",
+    "status_document",
+    "unescape_label_value",
     "validate_exposition",
 ]

@@ -35,6 +35,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Tuple
 
 from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.log import set_active_trace
 
 
 @dataclass(frozen=True)
@@ -73,8 +74,14 @@ class Tracer:
         self._next_id = 0
 
     def start(self, watermark: Optional[int] = None) -> TraceContext:
-        """Open a span now (a fresh id, the current clock reading)."""
+        """Open a span now (a fresh id, the current clock reading).
+
+        Also publishes the id as the *active trace* for the structured
+        log plane, so records logged while this span is in flight carry
+        a ``trace_id`` field joining them to the latency sample.
+        """
         self._next_id += 1
+        set_active_trace(self._next_id)
         return TraceContext(
             trace_id=self._next_id,
             started=self._clock(),

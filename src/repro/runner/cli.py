@@ -16,6 +16,14 @@ Subcommands:
   (:mod:`repro.stream`), printing verdicts as they tighten; ``--replay``
   re-streams a persisted sweep's jobs and verifies each against its
   stored batch record;
+- ``status`` — one shot against a live session's ``/statusz``: health,
+  uptime, and a per-shard liveness/lag table (exit 1 when unhealthy);
+- ``top`` — a live per-shard terminal view over ``/metrics.json``
+  scrapes (events/s, queue depth, lag, recoveries); ``--once`` prints a
+  single frame, for scripts and CI smoke;
+- ``trace`` — run a small instrumented campaign and export its span
+  tree as Chrome ``trace_event`` JSON (open in ``chrome://tracing`` or
+  ``ui.perfetto.dev``);
 - ``shard-worker`` — one remote shard of a socket-transport
   :class:`~repro.api.backends.ShardedBackend`: connects to the parent
   session's per-shard listen address and serves the wire protocol until
@@ -42,6 +50,7 @@ from repro.runner.results import (
     SweepSummary,
     report_rows,
 )
+from repro.obs import log as obslog
 from repro.runner.spec import CHURN_MODES, JobSpec, SweepSpec, WITH_CHURN
 from repro.runner.store import ResultStore
 from repro.scenario.presets import PRESETS
@@ -79,6 +88,7 @@ def _build_parser() -> argparse.ArgumentParser:
         default=DEFAULT_STORE,
         help=f"result store directory (default: {DEFAULT_STORE})",
     )
+    obslog.add_log_arguments(parser)
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     sweep = subparsers.add_parser("sweep", help="expand a grid and run it")
@@ -237,6 +247,76 @@ def _build_parser() -> argparse.ArgumentParser:
         default=0.0,
         metavar="SECONDS",
         help="keep the metrics endpoint up this long after the run",
+    )
+    stream.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "arm the flight recorder: dump the diagnostic ring buffer "
+            "into DIR on worker death or SIGUSR1"
+        ),
+    )
+
+    status = subparsers.add_parser(
+        "status",
+        help="one-shot health + per-shard view of a live /statusz",
+    )
+    status.add_argument(
+        "url",
+        metavar="URL",
+        help="the live session's metrics endpoint (host:port or URL)",
+    )
+    status.add_argument(
+        "--json",
+        action="store_true",
+        help="print the raw /statusz document",
+    )
+
+    top = subparsers.add_parser(
+        "top",
+        help="live per-shard terminal view over /metrics.json scrapes",
+    )
+    top.add_argument(
+        "url",
+        metavar="URL",
+        help="the live session's metrics endpoint (host:port or URL)",
+    )
+    top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one frame and exit (scripts, CI smoke)",
+    )
+    top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="seconds between scrapes (default: 2)",
+    )
+
+    trace = subparsers.add_parser(
+        "trace",
+        help="run an instrumented campaign, export a Chrome trace",
+    )
+    trace.add_argument(
+        "out",
+        metavar="OUT.json",
+        help="where to write the Chrome trace_event JSON",
+    )
+    trace.add_argument(
+        "--preset", default="tiny", choices=sorted(PRESETS)
+    )
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument(
+        "--backend",
+        default="sharded",
+        choices=("inline", "sharded"),
+        help="execution backend to trace (default: sharded)",
+    )
+    trace.add_argument("--shards", type=int, default=2, metavar="N")
+    trace.add_argument(
+        "--transport", default="pipe", choices=("pipe", "socket")
     )
 
     metrics = subparsers.add_parser(
@@ -599,6 +679,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
             transport=args.transport,
             metrics_port=args.metrics_port,
             metrics_linger=args.metrics_linger,
+            flight_dir=args.flight_dir,
         )
     job = JobSpec(
         preset=args.preset,
@@ -617,7 +698,186 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         transport=args.transport,
         metrics_port=args.metrics_port,
         metrics_linger=args.metrics_linger,
+        flight_dir=args.flight_dir,
     )
+
+
+def _endpoint_url(url: str, path: str) -> str:
+    """Normalize ``host:port``/``http://host:port[/anything]`` + path."""
+    if not url.startswith(("http://", "https://")):
+        url = f"http://{url}"
+    scheme, _, rest = url.partition("://")
+    host = rest.split("/", 1)[0]
+    return f"{scheme}://{host}{path}"
+
+
+def _fetch_json(url: str, timeout: float = 10.0):
+    """GET one endpoint, JSON-decoded; HTTP errors still yield bodies
+    (``/healthz`` is 503 *with* a document when unhealthy)."""
+    import urllib.error
+    import urllib.request
+
+    try:
+        with urllib.request.urlopen(url, timeout=timeout) as response:
+            return json.loads(response.read().decode("utf-8"))
+    except urllib.error.HTTPError as exc:
+        return json.loads(exc.read().decode("utf-8"))
+
+
+_SCRAPE_ERROR_HINT = (
+    "is a session serving --metrics-port there, and still alive?"
+)
+
+
+def _shard_rows(
+    shards: dict, rates: Optional[dict] = None
+) -> List[Tuple]:
+    rows = []
+    for shard, view in sorted(
+        shards.items(), key=lambda item: int(item[0])
+    ):
+        rows.append(
+            (
+                shard,
+                "up" if view.get("up", 1.0) else "DOWN",
+                (
+                    f"{rates.get(shard, 0.0):.1f}"
+                    if rates is not None
+                    else f"{int(view.get('verdicts', 0))}"
+                ),
+                int(view.get("queue_depth", 0)),
+                f"{view.get('ingest_lag', 0.0):.3f}s",
+                f"{view.get('seconds_since_ack', 0.0):.1f}s",
+                int(view.get("recoveries", 0)),
+            )
+        )
+    return rows
+
+
+_TOP_HEADERS = [
+    "shard", "state", "ev/s", "queue", "lag", "silence", "recoveries"
+]
+
+
+def _cmd_status(args: argparse.Namespace) -> int:
+    from urllib.error import URLError
+
+    url = _endpoint_url(args.url, "/statusz")
+    try:
+        document = _fetch_json(url)
+    except (OSError, URLError) as exc:
+        print(
+            f"error: cannot scrape {url}: {exc} — {_SCRAPE_ERROR_HINT}",
+            file=sys.stderr,
+        )
+        return 2
+    if args.json:
+        print(json.dumps(document, indent=1, sort_keys=True))
+        return 0 if document.get("status") == "ok" else 1
+    print(
+        f"status: {document.get('status')}  "
+        f"uptime: {document.get('uptime_seconds', 0.0):.1f}s  "
+        f"snapshot age: {document.get('snapshot_age_seconds', 0.0):.3f}s"
+    )
+    for problem in document.get("problems", ()):
+        print(f"problem: {problem}")
+    events = document.get("events", {})
+    if events:
+        print(
+            "events: "
+            + ", ".join(
+                f"{kind}={int(count)}"
+                for kind, count in sorted(events.items())
+            )
+        )
+    shards = document.get("shards", {})
+    if shards:
+        headers = [
+            "shard", "state", "verdicts", "queue", "lag", "silence",
+            "recoveries",
+        ]
+        print()
+        print(format_table(headers, _shard_rows(shards)))
+    return 0 if document.get("status") == "ok" else 1
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    from urllib.error import URLError
+    from repro.obs.export import shard_status, status_document
+
+    url = _endpoint_url(args.url, "/metrics.json")
+
+    def frame(previous, elapsed):
+        snapshot = _fetch_json(url)
+        shards = shard_status(snapshot)
+        rates = None
+        if previous is not None and elapsed > 0:
+            rates = {
+                shard: max(
+                    0.0,
+                    view.get("verdicts", 0)
+                    - previous.get(shard, {}).get("verdicts", 0),
+                ) / elapsed
+                for shard, view in shards.items()
+            }
+        document = status_document(snapshot)
+        print(
+            f"status: {document['status']}  events: "
+            + (
+                ", ".join(
+                    f"{kind}={int(count)}"
+                    for kind, count in sorted(document["events"].items())
+                )
+                or "none"
+            )
+        )
+        if shards:
+            print(format_table(_TOP_HEADERS, _shard_rows(shards, rates)))
+        else:
+            print("no shard-labeled series (inline backend?)")
+        return shards
+
+    try:
+        previous = frame(None, 0.0)
+        if args.once:
+            return 0
+        while True:
+            time.sleep(args.interval)
+            print()
+            previous = frame(previous, args.interval)
+    except KeyboardInterrupt:
+        return 0
+    except (OSError, URLError) as exc:
+        print(
+            f"error: cannot scrape {url}: {exc} — {_SCRAPE_ERROR_HINT}",
+            file=sys.stderr,
+        )
+        return 2
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    # Deferred import: pulls in the full engine stack.
+    from repro.api.config import ExecutionPolicy
+    from repro.api.session import LocalizationSession
+
+    session = LocalizationSession.from_preset(
+        args.preset,
+        seed=args.seed,
+        execution=ExecutionPolicy(
+            backend=args.backend,
+            shards=args.shards,
+            transport=args.transport,
+        ),
+    )
+    session.enable_metrics()
+    session.enable_tracing()
+    session.stream()
+    spans = session.export_trace(args.out)
+    print(
+        f"wrote {spans} spans to {args.out} "
+        f"(open in chrome://tracing or ui.perfetto.dev)"
+    )
+    return 0
 
 
 def _read_metrics_source(source: str) -> str:
@@ -649,7 +909,15 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     try:
         text = _read_metrics_source(args.source)
     except (OSError, URLError) as exc:
-        print(f"error: {exc}", file=sys.stderr)
+        # One line, with the likely cause spelled out: connection
+        # refused / timeouts here almost always mean the session ended
+        # (or never had --metrics-port).
+        reason = getattr(exc, "reason", exc)
+        print(
+            f"error: cannot read {args.source}: {reason} — "
+            f"{_SCRAPE_ERROR_HINT}",
+            file=sys.stderr,
+        )
         return 2
     series = parse_prometheus(text)
     problems = validate_exposition(text) if args.check else []
@@ -700,6 +968,9 @@ _COMMANDS = {
     "report": _cmd_report,
     "perf": _cmd_perf,
     "stream": _cmd_stream,
+    "status": _cmd_status,
+    "top": _cmd_top,
+    "trace": _cmd_trace,
     "metrics": _cmd_metrics,
     "shard-worker": _cmd_shard_worker,
 }
@@ -707,6 +978,7 @@ _COMMANDS = {
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = _build_parser().parse_args(argv)
+    obslog.configure_from_args(args)
     try:
         return _COMMANDS[args.command](args)
     except (FileNotFoundError, ValueError) as exc:

@@ -38,6 +38,8 @@ from repro.api.config import (
 )
 from repro.api.session import LocalizationSession
 from repro.core.pipeline import DEFAULT_SOLUTION_CAP
+from repro.obs import log as obslog
+from repro.obs import recorder as obsrecorder
 from repro.obs.export import MetricsServer
 from repro.runner.spec import JobSpec
 from repro.runner.store import ResultStore
@@ -139,6 +141,17 @@ def build_parser() -> argparse.ArgumentParser:
         help=(
             "keep the metrics endpoint up this long after the run "
             "finishes (for scrapers; default: 0)"
+        ),
+    )
+    obslog.add_log_arguments(parser)
+    parser.add_argument(
+        "--flight-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "arm the flight recorder: dump the bounded diagnostic ring "
+            "buffer (frame headers, log records, metric deltas) into "
+            "DIR on worker death or SIGUSR1"
         ),
     )
     parser.add_argument(
@@ -317,6 +330,7 @@ def run_fresh(
     transport: str = "pipe",
     metrics_port: Optional[int] = None,
     metrics_linger: float = 0.0,
+    flight_dir: Optional[str] = None,
 ) -> int:
     """Fresh mode: build the world, drip-stream its campaign, report."""
     registry, server = _open_metrics(metrics_port, json_mode)
@@ -327,6 +341,9 @@ def run_fresh(
         _subscribe_for_output(session, event_limit, json_mode)
         if registry is not None:
             session.enable_metrics(registry)
+        if flight_dir is not None:
+            session.enable_flight_recorder(directory=flight_dir)
+            obsrecorder.install_signal_handler(flight_dir)
         world = session.world
         if not json_mode:
             print(
@@ -371,6 +388,7 @@ def run_replay(
     transport: str = "pipe",
     metrics_port: Optional[int] = None,
     metrics_linger: float = 0.0,
+    flight_dir: Optional[str] = None,
 ) -> int:
     """Replay mode: stream every job of a persisted sweep, verifying."""
     store = ResultStore(store_dir)
@@ -382,7 +400,7 @@ def run_replay(
     try:
         return _run_replay_jobs(
             store, name, jobs, event_limit, json_mode, backend, shards,
-            transport, registry, failures, payloads,
+            transport, registry, failures, payloads, flight_dir,
         )
     finally:
         _close_metrics(server, metrics_linger)
@@ -390,8 +408,10 @@ def run_replay(
 
 def _run_replay_jobs(
     store, name, jobs, event_limit, json_mode, backend, shards,
-    transport, registry, failures, payloads,
+    transport, registry, failures, payloads, flight_dir=None,
 ) -> int:
+    if flight_dir is not None:
+        obsrecorder.install_signal_handler(flight_dir)
     for job in jobs:
         if not json_mode:
             print(f"replaying {job.label} ...")
@@ -401,6 +421,8 @@ def _run_replay_jobs(
         _subscribe_for_output(session, event_limit, json_mode)
         if registry is not None:
             session.enable_metrics(registry)
+        if flight_dir is not None:
+            session.enable_flight_recorder(directory=flight_dir)
         outcome = session.replay_stored(store, job)
         world = outcome.world
         if json_mode:
@@ -432,6 +454,7 @@ def _run_replay_jobs(
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    obslog.configure_from_args(args)
     try:
         if args.replay is not None:
             if args.store is None:
@@ -449,6 +472,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 transport=args.transport,
                 metrics_port=args.metrics_port,
                 metrics_linger=args.metrics_linger,
+                flight_dir=args.flight_dir,
             )
         return run_fresh(
             job_from_args(args),
@@ -460,6 +484,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             transport=args.transport,
             metrics_port=args.metrics_port,
             metrics_linger=args.metrics_linger,
+            flight_dir=args.flight_dir,
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -23,6 +23,7 @@ this on the tiny and small presets.
 from __future__ import annotations
 
 import heapq
+import logging
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Set, Tuple
 
@@ -36,7 +37,9 @@ from repro.core.pipeline import PipelineConfig, PipelineResult, assemble_result
 from repro.core.problem import ProblemSolution, ProblemSolveCache, SolutionStatus
 from repro.core.splitting import ProblemKey, window_start
 from repro.iclab.measurement import Measurement
+from repro.obs import log as obslog
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.spans import SpanRecorder, TRACK_ENGINE
 from repro.stream.events import Subscriber, VerdictEvent, VerdictKind
 from repro.stream.state import ProblemState, StreamStats
 from repro.topology.ip2as import IpToAsDatabase
@@ -57,6 +60,9 @@ _Bucket = Tuple[Anomaly, str, int, int]
 
 class StreamOrderError(ValueError):
     """A late observation arrived for a closed window (policy "error")."""
+
+
+_log = obslog.get_logger("stream.engine")
 
 
 @dataclass(frozen=True)
@@ -112,6 +118,8 @@ class StreamingLocalizer:
         self._last_measurement_id: Optional[int] = None
         self._metrics: Optional[MetricsRegistry] = None
         self._event_counters: Dict = {}
+        self._spans: Optional[SpanRecorder] = None
+        self._spans_track = TRACK_ENGINE
         if metrics is not None:
             self.attach_metrics(metrics)
 
@@ -134,6 +142,17 @@ class StreamingLocalizer:
         self._event_counters = {}
         self._cache.metrics = registry
         registry.add_collector(self._collect_metrics, key="stream-engine")
+
+    def attach_spans(
+        self, recorder: SpanRecorder, track: str = TRACK_ENGINE
+    ) -> None:
+        """Record solve (window-close) and drain spans into ``recorder``.
+
+        Telemetry only, same contract as :meth:`attach_metrics`: span
+        recording never influences solutions, events, or the drain.
+        """
+        self._spans = recorder
+        self._spans_track = track
 
     def _collect_metrics(self, registry: MetricsRegistry) -> None:
         gauge = registry.gauge
@@ -395,7 +414,33 @@ class StreamingLocalizer:
         skip = (
             self.config.skip_anomaly_free_problems and not state.had_anomaly
         )
-        solution = None if skip else state.finalize(self._cache)
+        if skip:
+            solution = None
+        elif self._spans is not None:
+            with self._spans.span(
+                "window.close",
+                category="engine",
+                track=self._spans_track,
+                url=key.url,
+                window=key.window.start,
+            ):
+                solution = state.finalize(self._cache)
+        else:
+            solution = state.finalize(self._cache)
+        if _log.isEnabledFor(logging.DEBUG):
+            _log.debug(
+                "window.close",
+                extra=obslog.fields(
+                    url=key.url,
+                    anomaly=key.anomaly.value,
+                    window=key.window.start,
+                    status=(
+                        solution.status.value
+                        if solution is not None
+                        else None
+                    ),
+                ),
+            )
         self._final[bucket] = solution
         self.stats.problems_closed += 1
         timestamp = self._watermark if self._watermark is not None else 0
@@ -527,7 +572,14 @@ class StreamingLocalizer:
         """
         if self._drained is not None:
             return self._drained
-        self.close_all()
+        if self._spans is not None:
+            with self._spans.span(
+                "engine.drain", category="engine", track=self._spans_track
+            ) as span_args:
+                self.close_all()
+                span_args["problems"] = len(self._order)
+        else:
+            self.close_all()
         solutions = [
             self._final[bucket]
             for bucket in self._order
