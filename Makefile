@@ -1,7 +1,16 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test sweep-smoke bench bench-json clean
+# The serve daemon's operational knobs; override per invocation:
+#   make serve-start SERVE_LISTEN=0.0.0.0:7700 SERVE_METRICS_PORT=7701
+SERVE_LISTEN ?= 127.0.0.1:7700
+SERVE_METRICS_PORT ?= 7701
+SERVE_STATE_DIR ?= .serve-state
+SERVE_PIDFILE ?= .serve-state/repro-serve.pid
+SERVE_LOG ?= .serve-state/repro-serve.log
+
+.PHONY: test sweep-smoke bench bench-json clean \
+	serve-start serve-stop serve-status serve-restart
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -34,6 +43,51 @@ bench-json:
 	$(PYTHON) benchmarks/slim_bench.py BENCH_$$n.json && \
 	$(PYTHON) -c "import json;d=json.load(open('BENCH_$$n.json'));print('\n'.join(f\"{b['name']}: {b['stats']['mean']*1000:.2f} ms (mean)\" for b in d['benchmarks']))"
 
+# -- the always-on localization daemon ---------------------------------------
+# serve-start backgrounds repro-serve with a pidfile and waits for
+# /healthz; serve-stop SIGTERMs it (checkpointing every tenant to
+# SERVE_STATE_DIR) and waits for exit; serve-status probes /healthz.
+
+serve-start:
+	@mkdir -p $(SERVE_STATE_DIR)
+	@if [ -f $(SERVE_PIDFILE) ] && kill -0 $$(cat $(SERVE_PIDFILE)) 2>/dev/null; then \
+	    echo "repro-serve already running (pid $$(cat $(SERVE_PIDFILE)))"; \
+	else \
+	    $(PYTHON) -m repro.serve --listen $(SERVE_LISTEN) \
+	        --state-dir $(SERVE_STATE_DIR) \
+	        --metrics-port $(SERVE_METRICS_PORT) \
+	        --pidfile $(SERVE_PIDFILE) >> $(SERVE_LOG) 2>&1 & \
+	    for i in $$(seq 1 50); do \
+	        if curl -sf http://$${SERVE_HEALTH_HOST:-127.0.0.1}:$(SERVE_METRICS_PORT)/healthz >/dev/null 2>&1; then \
+	            echo "repro-serve up on $(SERVE_LISTEN) (pid $$(cat $(SERVE_PIDFILE)))"; exit 0; \
+	        fi; sleep 0.2; \
+	    done; \
+	    echo "repro-serve failed to become healthy; see $(SERVE_LOG)" >&2; exit 1; \
+	fi
+
+serve-stop:
+	@if [ -f $(SERVE_PIDFILE) ] && kill -0 $$(cat $(SERVE_PIDFILE)) 2>/dev/null; then \
+	    pid=$$(cat $(SERVE_PIDFILE)); \
+	    kill $$pid; \
+	    for i in $$(seq 1 100); do \
+	        kill -0 $$pid 2>/dev/null || { echo "repro-serve stopped (tenants checkpointed to $(SERVE_STATE_DIR))"; exit 0; }; \
+	        sleep 0.2; \
+	    done; \
+	    echo "repro-serve (pid $$pid) did not exit within 20s" >&2; exit 1; \
+	else \
+	    echo "repro-serve is not running"; \
+	fi
+
+serve-status:
+	@if [ -f $(SERVE_PIDFILE) ] && kill -0 $$(cat $(SERVE_PIDFILE)) 2>/dev/null; then \
+	    echo "repro-serve running (pid $$(cat $(SERVE_PIDFILE)))"; \
+	    $(PYTHON) -m repro.runner status 127.0.0.1:$(SERVE_METRICS_PORT); \
+	else \
+	    echo "repro-serve is not running"; exit 1; \
+	fi
+
+serve-restart: serve-stop serve-start
+
 clean:
-	rm -rf .sweep-smoke .repro-results .pytest_cache build *.egg-info
+	rm -rf .sweep-smoke .repro-results .serve-state .pytest_cache build *.egg-info
 	find . -name __pycache__ -type d -prune -exec rm -rf {} +

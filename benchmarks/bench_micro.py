@@ -7,6 +7,7 @@ traceroute-to-AS-path conversion.
 
 import itertools
 import json
+import threading
 
 import pytest
 
@@ -369,3 +370,140 @@ def test_micro_checkpoint_roundtrip(benchmark, bench_world, bench_dataset):
     benchmark.extra_info["state_bytes"] = len(
         json.dumps(engine_state(engine))
     )
+
+
+# -- the serve daemon ---------------------------------------------------------
+#
+# The daemon's perf contract is "thin": its fixed per-frame overhead is
+# the asyncio hop plus one executor hand-off, and concurrent campaigns
+# scale by tenant because each one owns its queue and applier.  Both
+# benches run against a real daemon on a background thread over
+# localhost TCP — the deployment shape, not a mock.
+
+SERVE_TENANTS = 4
+
+
+@pytest.fixture(scope="module")
+def serve_daemon():
+    from repro.serve import AdmissionPolicy, start_in_thread
+
+    handle = start_in_thread(policy=AdmissionPolicy(max_tenants=64))
+    yield handle
+    handle.stop()
+
+
+@pytest.fixture(scope="module")
+def serve_feed():
+    """A tiny campaign pre-converted to observations (client-side shape)."""
+    from repro.scenario.presets import tiny
+    from repro.scenario.world import build_world
+
+    world = build_world(tiny(seed=7))
+    observations, _ = build_observations(
+        world.run_campaign(), world.ip2as
+    )
+    return world, observations
+
+
+def test_micro_serve_roundtrip(benchmark, serve_daemon):
+    """One sequenced frame's round trip through the daemon.
+
+    An ``advance`` frame on an empty tenant pays the serve path's entire
+    fixed cost — frame encode/decode, the asyncio reader, the tenant
+    queue, the executor hand-off, the watermark bump, and the ack back —
+    with no solver work in the loop, so the number is the daemon's
+    per-frame overhead floor.
+    """
+    from repro.serve import ServeClient
+
+    client = ServeClient(
+        serve_daemon.address,
+        "bench-rtt",
+        config=SessionConfig(preset="tiny", seed=7),
+    )
+    client.attach()
+    timestamps = itertools.count(1000)
+
+    def round_trip():
+        client.advance(next(timestamps))
+        client.wait_for_acks()
+
+    benchmark(round_trip)
+    client.close()
+    mean_seconds = benchmark.stats.stats.mean
+    benchmark.extra_info["round_trips_per_sec"] = round(
+        1.0 / mean_seconds, 1
+    )
+
+
+def test_micro_serve_concurrent_throughput(
+    benchmark, serve_daemon, serve_feed
+):
+    """N concurrent campaigns streaming through one daemon.
+
+    Each round attaches ``SERVE_TENANTS`` fresh tenants (world builds
+    untimed, in setup), then every tenant's client ingests the same tiny
+    observation feed from its own thread and drains — the multi-tenant
+    hot path: interleaved frames on one event loop, per-tenant queues
+    and appliers, chunked acks, concurrent engine folds.  The one-time
+    equality check against the inline engine guards tenant isolation.
+    """
+    from repro.serve import ServeClient
+
+    world, observations = serve_feed
+    config = SessionConfig(preset="tiny", seed=7)
+    rounds = itertools.count()
+    holder = {}
+    results = []
+
+    def setup():
+        clients = []
+        tag = next(rounds)
+        for index in range(SERVE_TENANTS):
+            client = ServeClient(
+                serve_daemon.address, f"bench-t{tag}-{index}", config=config
+            )
+            client.attach()
+            clients.append(client)
+        holder["clients"] = clients
+        return (), {}
+
+    def drain_all():
+        failures = []
+
+        def drive(client):
+            try:
+                for observation in observations:
+                    client.ingest_observation(observation)
+                results.append(client.drain())
+            except Exception as exc:   # surfaces after the join
+                failures.append(exc)
+
+        threads = [
+            threading.Thread(target=drive, args=(client,))
+            for client in holder["clients"]
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not failures, failures
+        for client in holder["clients"]:
+            client.close()
+
+    benchmark.pedantic(drain_all, setup=setup, rounds=3, iterations=1)
+    inline = StreamingLocalizer(
+        world.ip2as, world.country_by_asn, config=PipelineConfig()
+    )
+    for observation in observations:
+        inline.ingest_observation(observation)
+    expected = inline.drain().to_dict()
+    assert all(
+        result.to_dict() == expected
+        for result in results[-SERVE_TENANTS:]
+    )
+    mean_seconds = benchmark.stats.stats.mean
+    total = len(observations) * SERVE_TENANTS
+    benchmark.extra_info["tenants"] = SERVE_TENANTS
+    benchmark.extra_info["observations"] = total
+    benchmark.extra_info["events_per_sec"] = round(total / mean_seconds, 1)

@@ -20,6 +20,7 @@ setup(
     entry_points={
         "console_scripts": [
             "repro-runner=repro.runner.cli:main",
+            "repro-serve=repro.serve.cli:main",
             "repro-stream=repro.stream.cli:main",
         ],
     },

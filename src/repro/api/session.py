@@ -574,19 +574,37 @@ class LocalizationSession:
         format is backend-agnostic.
         """
         document = read_checkpoint(path)
+        session = cls.restore_document(
+            document, execution=execution, world=world
+        )
+        _log.info(
+            "checkpoint.restore",
+            extra=obslog.fields(
+                path=str(path),
+                preset=session.config.preset,
+                backend=session.config.execution.backend,
+            ),
+        )
+        return session
+
+    @classmethod
+    def restore_document(
+        cls,
+        document: Dict[str, Any],
+        execution: Optional[ExecutionPolicy] = None,
+        world: Optional[World] = None,
+    ) -> "LocalizationSession":
+        """:meth:`restore` from an already-loaded checkpoint document.
+
+        The serve daemon embeds checkpoint documents inside its own
+        per-tenant state files (which carry extra resume bookkeeping),
+        so it loads the JSON itself and resumes tenants through here.
+        """
         config = SessionConfig.from_dict(document["config"])
         if execution is not None:
             config = dataclasses.replace(config, execution=execution)
         session = cls(config, world=world)
         session._pending_state = document["engine"]
-        _log.info(
-            "checkpoint.restore",
-            extra=obslog.fields(
-                path=str(path),
-                preset=config.preset,
-                backend=config.execution.backend,
-            ),
-        )
         return session
 
     # -- lifecycle / reporting ---------------------------------------------

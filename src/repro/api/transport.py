@@ -38,6 +38,11 @@ _log = obslog.get_logger("api.transport")
 # protocol bug, not a workload.
 _LENGTH = struct.Struct(">I")
 
+# The same prefix, public: the asyncio serve daemon frames its reads
+# with StreamReader.readexactly and must agree byte-for-byte with
+# SocketTransport on what a frame header is.
+FRAME_LENGTH = _LENGTH
+
 # Encode/decode histograms get tighter sub-millisecond buckets than the
 # default latency set: a chunk's pickling is microseconds, not seconds.
 _CODEC_BUCKETS = (
@@ -329,14 +334,19 @@ class ShardListener:
             pass
 
 
-def connect_worker(
-    address: str, retry_for: float = 30.0
+def dial(
+    address: str,
+    retry_for: float = 30.0,
+    peer: str = "peer",
+    hint: Optional[str] = None,
 ) -> SocketTransport:
-    """Dial a shard parent's listener, retrying until ``retry_for``.
+    """Dial a listener, retrying with backoff until ``retry_for``.
 
-    The retry loop is what makes operator-driven recovery a one-liner:
-    restart ``repro-runner shard-worker --connect host:port`` and it
-    keeps dialing until the parent re-listens (or the deadline passes).
+    On exhaustion the :class:`TransportError` is **one actionable
+    line** — the address, how long and how many times we tried, the
+    last OS error, and ``hint`` (what the operator should start) — not
+    a raw traceback; the CLIs print it verbatim as their whole error
+    output.
     """
     host, port = parse_address(address)
     deadline = time.monotonic() + retry_for
@@ -350,10 +360,14 @@ def connect_worker(
             )
         except OSError as exc:
             if time.monotonic() >= deadline:
-                raise TransportError(
-                    f"cannot connect to shard parent at {address!r}: "
-                    f"{exc}"
-                ) from exc
+                message = (
+                    f"cannot connect to {peer} at {address} "
+                    f"({attempts} attempt{'s' if attempts != 1 else ''} "
+                    f"over {retry_for:g}s, last error: {exc})"
+                )
+                if hint:
+                    message += f" — {hint}"
+                raise TransportError(message) from exc
             time.sleep(delay)
             delay = min(delay * 2, 1.0)
             continue
@@ -364,12 +378,34 @@ def connect_worker(
         return transport
 
 
+def connect_worker(
+    address: str, retry_for: float = 30.0
+) -> SocketTransport:
+    """Dial a shard parent's listener, retrying until ``retry_for``.
+
+    The retry loop is what makes operator-driven recovery a one-liner:
+    restart ``repro-runner shard-worker --connect host:port`` and it
+    keeps dialing until the parent re-listens (or the deadline passes).
+    """
+    return dial(
+        address,
+        retry_for=retry_for,
+        peer="shard parent",
+        hint=(
+            "is the sharded session still running with this address in "
+            "its --shard-hosts list?"
+        ),
+    )
+
+
 __all__ = [
+    "FRAME_LENGTH",
     "ShardTransport",
     "PipeTransport",
     "SocketTransport",
     "ShardListener",
     "TransportError",
     "connect_worker",
+    "dial",
     "parse_address",
 ]

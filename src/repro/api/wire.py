@@ -37,6 +37,18 @@ and a trailing telemetry element on the drain payload (worker metrics
 snapshot + solve-cache counters).  Every extension is a *trailing*
 optional element, so the decoders accept format-1-shaped tuples from
 this build's own code paths that don't use them.
+
+Format 3 added the **serve vocabulary** — the frames a
+:mod:`repro.serve` daemon and its clients exchange on top of the same
+length-prefixed transport: ``attach``/``attached`` (a campaign-keyed
+session handshake carrying a resume token and the daemon's applied
+watermark, so a reconnecting client knows exactly which buffered chunks
+to re-send), ``subscribe``/``subscribed`` (verdict-event subscriptions
+with a from-sequence replay cursor), and ``checkpoint_ack`` (the
+daemon's durable watermark — the only signal that lets a client
+truncate its resend buffer).  The shard parent/worker conversation is
+unchanged; the bump only keeps a format-2 worker from silently talking
+to a format-3 daemon.
 """
 
 from __future__ import annotations
@@ -51,7 +63,7 @@ from repro.core.splitting import Granularity, ProblemKey
 from repro.stream.events import VerdictEvent, VerdictKind
 from repro.util.timeutil import TimeWindow
 
-WIRE_FORMAT = 2
+WIRE_FORMAT = 3
 
 _PROTOCOL = pickle.HIGHEST_PROTOCOL
 
@@ -274,6 +286,136 @@ def frame_trace(message: Tuple) -> Optional[Tuple]:
     return message[2] if len(message) > 2 else None
 
 
+# -- serve vocabulary (format 3) ---------------------------------------------
+#
+# The multi-tenant daemon's control plane.  Data-plane frames reuse the
+# shard shapes: ``("ingest", seq, [obs_tuple, ...])`` chunks answered by
+# ``("ack", seq)``, ``("advance", seq, timestamp)``, and ``("events",
+# [event_tuple, ...])`` pushes.  ``seq`` is a client-monotone chunk
+# counter — the daemon applies each sequence exactly once (a re-sent
+# chunk at or below the applied watermark is acked but skipped), which
+# is what makes reconnect-and-resend idempotent.
+
+
+def attach_frame(
+    campaign: str,
+    config_payload: Optional[Dict[str, Any]],
+    want_events: bool,
+    resume_token: Optional[str] = None,
+    options: Optional[Dict[str, Any]] = None,
+) -> Tuple:
+    """A serve client's first frame: join (or create) a campaign tenant.
+
+    ``config_payload`` is a :class:`~repro.api.config.SessionConfig`
+    dict; ``None`` attaches to an existing tenant without asserting a
+    config.  ``resume_token`` is the token minted by a previous
+    ``attached`` reply — presenting it proves this client owns the
+    campaign and asks for the daemon's applied watermark back."""
+    return (
+        "attach",
+        WIRE_FORMAT,
+        campaign,
+        config_payload,
+        want_events,
+        resume_token,
+        dict(options) if options else {},
+    )
+
+
+def check_attach(
+    message: Tuple,
+) -> Tuple[str, Optional[Dict[str, Any]], bool, Optional[str],
+           Dict[str, Any]]:
+    """Validate an attach frame; returns (campaign, config, want_events,
+    resume_token, options)."""
+    if not message or message[0] != "attach":
+        raise WireFormatError(
+            f"expected an attach frame, got {message[:1]!r}"
+        )
+    if message[1] != WIRE_FORMAT:
+        raise WireFormatError(
+            f"client speaks wire format {message[1]!r}; this daemon "
+            f"speaks {WIRE_FORMAT}"
+        )
+    if not message[2] or not isinstance(message[2], str):
+        raise WireFormatError(
+            f"attach needs a non-empty campaign id, got {message[2]!r}"
+        )
+    options = message[6] if len(message) > 6 and message[6] else {}
+    return message[2], message[3], message[4], message[5], options
+
+
+def attached_frame(
+    campaign: str,
+    resume_token: str,
+    applied_seq: int,
+    options: Optional[Dict[str, Any]] = None,
+) -> Tuple:
+    """The daemon's attach reply: the tenant's resume token and its
+    applied chunk watermark (the client re-sends everything above it)."""
+    return (
+        "attached",
+        WIRE_FORMAT,
+        campaign,
+        resume_token,
+        applied_seq,
+        dict(options) if options else {},
+    )
+
+
+def check_attached(message: Tuple) -> Tuple[str, str, int, Dict[str, Any]]:
+    """Validate an attached reply; returns (campaign, resume_token,
+    applied_seq, options)."""
+    if not message or message[0] != "attached":
+        raise WireFormatError(
+            f"expected an attached reply, got {message[:1]!r}"
+        )
+    if message[1] != WIRE_FORMAT:
+        raise WireFormatError(
+            f"daemon speaks wire format {message[1]!r}; this client "
+            f"speaks {WIRE_FORMAT}"
+        )
+    options = message[5] if len(message) > 5 and message[5] else {}
+    return message[2], message[3], message[4], options
+
+
+def subscribe_frame(campaign: str, from_sequence: int = 0) -> Tuple:
+    """Ask for a campaign's verdict-event stream, replayed from (and
+    excluding) ``from_sequence`` — the reconnect cursor: a subscriber
+    that saw sequence N resubscribes with N and never double-sees."""
+    return ("subscribe", WIRE_FORMAT, campaign, from_sequence)
+
+
+def check_subscribe(message: Tuple) -> Tuple[str, int]:
+    """Validate a subscribe frame; returns (campaign, from_sequence)."""
+    if not message or message[0] != "subscribe":
+        raise WireFormatError(
+            f"expected a subscribe frame, got {message[:1]!r}"
+        )
+    if message[1] != WIRE_FORMAT:
+        raise WireFormatError(
+            f"subscriber speaks wire format {message[1]!r}; this daemon "
+            f"speaks {WIRE_FORMAT}"
+        )
+    return message[2], message[3]
+
+
+def subscribed_frame(campaign: str, last_sequence: int) -> Tuple:
+    """The daemon's subscribe ack: the highest event sequence it has
+    buffered for replay (0 when the tenant has emitted nothing)."""
+    return ("subscribed", campaign, last_sequence)
+
+
+def checkpoint_ack_frame(applied_seq: int) -> Tuple:
+    """Daemon → client after a *durable* tenant checkpoint.
+
+    Distinct from the per-chunk ``ack`` on purpose: an ack only means
+    "applied in memory" (flow control); a checkpoint_ack means the state
+    survives a daemon restart, so the client may drop every buffered
+    chunk at or below ``applied_seq``."""
+    return ("checkpoint_ack", applied_seq)
+
+
 def check_hello_ack(message: Tuple) -> None:
     """Validate a worker's hello reply."""
     if not message or message[0] != "hello":
@@ -305,4 +447,12 @@ __all__ = [
     "check_hello",
     "check_hello_ack",
     "frame_trace",
+    "attach_frame",
+    "check_attach",
+    "attached_frame",
+    "check_attached",
+    "subscribe_frame",
+    "check_subscribe",
+    "subscribed_frame",
+    "checkpoint_ack_frame",
 ]

@@ -128,6 +128,36 @@ METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
     # -- StageTimer adapter ------------------------------------------------
     "repro_stage_seconds": ("counter", "Stage wall seconds, by stage"),
     "repro_stage_calls": ("counter", "Stage invocations, by stage"),
+    # -- serve daemon (tenant-labeled) -------------------------------------
+    "repro_serve_tenants": ("gauge", "Tenant sessions currently attached"),
+    "repro_serve_connections": (
+        "gauge", "Client connections currently open"),
+    "repro_serve_connections_total": (
+        "counter", "Client connections accepted since start"),
+    "repro_serve_tenant_up": (
+        "gauge", "1 while the tenant's session is healthy, per tenant"),
+    "repro_serve_received_seq": (
+        "gauge", "Highest chunk sequence received, per tenant"),
+    "repro_serve_applied_seq": (
+        "gauge", "Highest chunk sequence applied, per tenant"),
+    "repro_serve_checkpoint_seq": (
+        "gauge", "Highest chunk sequence durably checkpointed, per tenant"),
+    "repro_serve_lag_frames": (
+        "gauge", "Received-but-unapplied chunks (ingest lag), per tenant"),
+    "repro_serve_queue_depth": (
+        "gauge", "Frames waiting in the tenant's apply queue"),
+    "repro_serve_events_buffered": (
+        "gauge", "Verdict events held for subscriber replay, per tenant"),
+    "repro_serve_frames_total": (
+        "counter", "Frames applied by the daemon, by tenant and kind"),
+    "repro_serve_checkpoints_total": (
+        "counter", "Durable tenant checkpoints written"),
+    "repro_serve_resumes_total": (
+        "counter", "Tenants resumed from a state-dir checkpoint"),
+    "repro_serve_rejected_total": (
+        "counter", "Attach requests refused, by reason"),
+    "repro_serve_apply_seconds": (
+        "histogram", "Daemon-side apply time per ingest chunk"),
 }
 
 _NAME_OK = re.compile(r"[a-zA-Z_:][a-zA-Z0-9_:]*$")
@@ -337,11 +367,27 @@ _SHARD_COUNTER_KEYS = {
 }
 
 
+def _shard_key(labels: Dict[str, Any]) -> Optional[str]:
+    """The status key for one shard-labeled series.
+
+    Plain runs key by the ``shard`` label alone; under the multi-tenant
+    daemon every session's series also carry a ``tenant`` label, so two
+    tenants' shard 0 must not fold together — the key becomes
+    ``tenant/shard``.
+    """
+    shard = labels.get("shard")
+    if shard is None:
+        return None
+    tenant = labels.get("tenant")
+    return f"{tenant}/{shard}" if tenant is not None else str(shard)
+
+
 def shard_status(snapshot: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     """Per-shard operational view derived from the standard series.
 
-    Keyed by the ``shard`` label value (a string, as labels are); empty
-    for inline runs, which have no shard-labeled series.
+    Keyed by the ``shard`` label value (a string, as labels are) —
+    prefixed ``tenant/`` for tenant-labeled series; empty for inline
+    runs, which have no shard-labeled series.
     """
     shards: Dict[str, Dict[str, Any]] = {}
 
@@ -349,22 +395,58 @@ def shard_status(snapshot: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
         return shards.setdefault(shard, {})
 
     for entry in snapshot.get("gauges", ()):
-        shard = entry.get("labels", {}).get("shard")
+        shard = _shard_key(entry.get("labels", {}))
         key = _SHARD_GAUGE_KEYS.get(entry["name"])
         if shard is not None and key is not None:
-            slot(str(shard))[key] = entry["value"]
+            slot(shard)[key] = entry["value"]
     for entry in snapshot.get("counters", ()):
-        shard = entry.get("labels", {}).get("shard")
+        shard = _shard_key(entry.get("labels", {}))
         key = _SHARD_COUNTER_KEYS.get(entry["name"])
         if shard is not None and key is not None:
-            slot(str(shard))[key] = entry["value"]
+            slot(shard)[key] = entry["value"]
     for entry in snapshot.get("histograms", ()):
         if entry["name"] != "repro_verdict_latency_seconds":
             continue
-        shard = entry.get("labels", {}).get("shard")
+        shard = _shard_key(entry.get("labels", {}))
         if shard is not None:
-            slot(str(shard))["verdicts"] = entry["count"]
+            slot(shard)["verdicts"] = entry["count"]
     return shards
+
+
+_TENANT_GAUGE_KEYS = {
+    "repro_serve_tenant_up": "up",
+    "repro_serve_received_seq": "received_seq",
+    "repro_serve_applied_seq": "applied_seq",
+    "repro_serve_checkpoint_seq": "checkpoint_seq",
+    "repro_serve_lag_frames": "lag_frames",
+    "repro_serve_queue_depth": "queue_depth",
+    "repro_serve_events_buffered": "events_buffered",
+}
+_TENANT_COUNTER_KEYS = {
+    "repro_serve_checkpoints_total": "checkpoints",
+}
+
+
+def tenant_status(snapshot: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    """Per-tenant rollup derived from the serve daemon's series.
+
+    Keyed by the ``tenant`` label value; empty outside a daemon.  Each
+    tenant's entry carries its liveness, sequence watermarks (received /
+    applied / durably checkpointed), and ingest lag in frames — the
+    ``/statusz`` per-tenant view.
+    """
+    tenants: Dict[str, Dict[str, Any]] = {}
+    for entry in snapshot.get("gauges", ()):
+        tenant = entry.get("labels", {}).get("tenant")
+        key = _TENANT_GAUGE_KEYS.get(entry["name"])
+        if tenant is not None and key is not None:
+            tenants.setdefault(str(tenant), {})[key] = entry["value"]
+    for entry in snapshot.get("counters", ()):
+        tenant = entry.get("labels", {}).get("tenant")
+        key = _TENANT_COUNTER_KEYS.get(entry["name"])
+        if tenant is not None and key is not None:
+            tenants.setdefault(str(tenant), {})[key] = entry["value"]
+    return tenants
 
 
 def health_problems(
@@ -377,7 +459,10 @@ def health_problems(
     (``repro_shard_up`` 0 — mid-recovery or past recovery budget), or
     frames are outstanding and the worker has not acked for longer than
     ``max_silence`` (a hung-but-alive worker, which liveness alone
-    cannot see).
+    cannot see).  Under the serve daemon a third applies per tenant:
+    the tenant session has failed (``repro_serve_tenant_up`` 0), which
+    is how one tenant's dead shard flips the whole daemon's
+    ``/healthz`` to 503.
     """
     problems: List[str] = []
     for shard, view in sorted(shard_status(snapshot).items()):
@@ -389,6 +474,9 @@ def health_problems(
                 f"shard {shard}: no ack for {silence:.0f}s with "
                 f"{int(view.get('queue_depth', 0))} frames outstanding"
             )
+    for tenant, view in sorted(tenant_status(snapshot).items()):
+        if view.get("up", 1.0) == 0:
+            problems.append(f"tenant {tenant}: session failed")
     return problems
 
 
@@ -404,6 +492,9 @@ def health_document(
         "problems": problems,
         "shards": len(shard_status(snapshot)),
     }
+    tenants = tenant_status(snapshot)
+    if tenants:
+        document["tenants"] = len(tenants)
     if uptime is not None:
         document["uptime_seconds"] = round(uptime, 3)
     return document
@@ -432,6 +523,7 @@ def status_document(
         "status": "ok" if not problems else "unhealthy",
         "problems": problems,
         "shards": shard_status(snapshot),
+        "tenants": tenant_status(snapshot),
         "events": events,
         "stream": stream,
     }
@@ -583,6 +675,7 @@ __all__ = [
     "shard_status",
     "start_metrics_server",
     "status_document",
+    "tenant_status",
     "unescape_label_value",
     "validate_exposition",
 ]

@@ -32,6 +32,12 @@ time, so steady-state ingestion pays nothing for it.
 
 The injectable ``clock`` (used by :meth:`MetricsRegistry.time` and by
 :mod:`repro.obs.trace`) makes snapshots fully deterministic under test.
+
+:class:`RegistryView` (``registry.view(labels)``) is the multi-tenant
+adapter: it speaks the full registry interface but stamps a fixed label
+set onto every series it creates, so N tenant sessions can share one
+daemon registry — and one scrape endpoint — without their identically
+named series colliding.
 """
 
 from __future__ import annotations
@@ -295,6 +301,18 @@ class MetricsRegistry:
             ],
         }
 
+    def view(self, labels: Dict[str, Any]) -> "RegistryView":
+        """A registry facade that stamps ``labels`` on every series.
+
+        The serve daemon hands each tenant session
+        ``registry.view({"tenant": campaign})``: the session (and its
+        backend, transports, engine collectors) instruments itself
+        exactly as it would against a private registry, but every
+        series — including a sharded backend's ``repro_shard_up`` —
+        lands tenant-labeled in the shared one.
+        """
+        return RegistryView(self, labels)
+
     def merge(
         self, snapshot: Dict[str, Any], extra_labels: Labels = None
     ) -> None:
@@ -330,6 +348,82 @@ class MetricsRegistry:
             histogram.count += entry["count"]
 
 
+class RegistryView:
+    """A label-stamping facade over a shared :class:`MetricsRegistry`.
+
+    Duck-compatible with the registry everywhere instrumented code
+    touches one — ``counter``/``gauge``/``histogram``/``time``/
+    ``clock``/``add_collector``/``merge``/``snapshot`` — so a component
+    built against a private registry multi-tenants onto a shared one
+    without changes.  Collector keys are prefixed with the view's
+    labels: two tenants registering the same engine collector key stay
+    two collectors, and each collector receives the *view* (not the
+    parent), so the series it creates at snapshot time are stamped too.
+    """
+
+    def __init__(
+        self, parent: MetricsRegistry, labels: Dict[str, Any]
+    ) -> None:
+        self._parent = parent
+        self.labels = {
+            key: str(value) for key, value in (labels or {}).items()
+        }
+        self._prefix = series_key("view", self.labels)
+
+    @property
+    def clock(self) -> Callable[[], float]:
+        return self._parent.clock
+
+    def _stamp(self, labels: Labels) -> Dict[str, Any]:
+        return {**(labels or {}), **self.labels}
+
+    def counter(self, name: str, labels: Labels = None) -> Counter:
+        return self._parent.counter(name, self._stamp(labels))
+
+    def gauge(self, name: str, labels: Labels = None) -> Gauge:
+        return self._parent.gauge(name, self._stamp(labels))
+
+    def histogram(
+        self,
+        name: str,
+        labels: Labels = None,
+        buckets: Tuple[float, ...] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        return self._parent.histogram(
+            name, self._stamp(labels), buckets=buckets
+        )
+
+    def time(self, histogram: Histogram) -> _TimerContext:
+        return self._parent.time(histogram)
+
+    def add_collector(
+        self,
+        collector: Callable[["MetricsRegistry"], None],
+        key: Optional[str] = None,
+    ) -> None:
+        view = self
+        scoped = key if key is not None else f"anon-{id(collector)}"
+        self._parent.add_collector(
+            lambda _registry: collector(view),
+            key=f"{self._prefix}:{scoped}",
+        )
+
+    def merge(
+        self, snapshot: Dict[str, Any], extra_labels: Labels = None
+    ) -> None:
+        self._parent.merge(
+            snapshot, extra_labels=self._stamp(extra_labels)
+        )
+
+    def collect(self) -> None:
+        self._parent.collect()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """The *shared* registry's snapshot (all tenants; collectors
+        run).  A view has no private series to dump."""
+        return self._parent.snapshot()
+
+
 __all__ = [
     "SNAPSHOT_FORMAT",
     "DEFAULT_BUCKETS",
@@ -337,5 +431,6 @@ __all__ = [
     "Gauge",
     "Histogram",
     "MetricsRegistry",
+    "RegistryView",
     "series_key",
 ]

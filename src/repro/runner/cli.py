@@ -16,8 +16,10 @@ Subcommands:
   (:mod:`repro.stream`), printing verdicts as they tighten; ``--replay``
   re-streams a persisted sweep's jobs and verifies each against its
   stored batch record;
-- ``status`` — one shot against a live session's ``/statusz``: health,
-  uptime, and a per-shard liveness/lag table (exit 1 when unhealthy);
+- ``status`` — one shot against a live session's (or serve daemon's)
+  ``/statusz``: health, uptime, a per-shard liveness/lag table, and —
+  against a ``repro-serve`` endpoint — the per-tenant campaign rollup
+  (exit 1 when unhealthy);
 - ``top`` — a live per-shard terminal view over ``/metrics.json``
   scrapes (events/s, queue depth, lag, recoveries); ``--once`` prints a
   single frame, for scripts and CI smoke;
@@ -40,7 +42,7 @@ import dataclasses
 import json
 import sys
 import time
-from typing import List, Optional, Sequence, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.tables import format_table
 from repro.core.pipeline import DEFAULT_SOLUTION_CAP
@@ -798,7 +800,34 @@ def _cmd_status(args: argparse.Namespace) -> int:
         ]
         print()
         print(format_table(headers, _shard_rows(shards)))
+    tenants = document.get("tenants", {})
+    if tenants:
+        headers = [
+            "tenant", "state", "received", "applied", "durable", "lag",
+            "queue", "events",
+        ]
+        print()
+        print(format_table(headers, _tenant_rows(tenants)))
     return 0 if document.get("status") == "ok" else 1
+
+
+def _tenant_rows(tenants: Dict[str, Any]) -> List[tuple]:
+    """The serve daemon's per-campaign rollup as table rows."""
+    rows = []
+    for tenant, view in sorted(tenants.items()):
+        rows.append(
+            (
+                tenant,
+                "up" if view.get("up", 1.0) else "FAILED",
+                int(view.get("received_seq", 0)),
+                int(view.get("applied_seq", 0)),
+                int(view.get("checkpoint_seq", 0)),
+                int(view.get("lag_frames", 0)),
+                int(view.get("queue_depth", 0)),
+                int(view.get("events_buffered", 0)),
+            )
+        )
+    return rows
 
 
 def _cmd_top(args: argparse.Namespace) -> int:

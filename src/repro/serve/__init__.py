@@ -1,0 +1,52 @@
+"""repro.serve — the always-on multi-tenant localization daemon.
+
+One asyncio event loop accepts measurement streams from any number of
+concurrent campaigns over the same length-prefixed wire protocol the
+sharded backend speaks.  Each campaign is a *tenant*: its own
+:class:`~repro.api.session.LocalizationSession` (inline or sharded),
+its own bounded apply queue and single-thread executor, its own
+verdict-event replay ring, and its own durable state file — so clients
+can drop mid-stream, reconnect, and resume exactly, and a restarted
+daemon picks every campaign back up where its last checkpoint left it.
+Drains stay byte-identical to an uninterrupted inline run throughout.
+
+- :class:`~repro.serve.server.ServeDaemon` / ``repro-serve`` — the
+  daemon itself;
+- :class:`~repro.serve.client.ServeClient` — the sequenced,
+  reconnect-safe ingest stream (``repro-stream --connect`` is a thin
+  shell over it);
+- :class:`~repro.serve.client.ServeSubscriber` — cursor-tracked
+  verdict-event subscriptions;
+- :class:`~repro.serve.tenants.TenantRegistry` — admission control and
+  per-tenant durability.
+"""
+
+from repro.serve.client import (
+    ServeClient,
+    ServeSubscriber,
+    dial_daemon,
+    stream_campaign,
+)
+from repro.serve.server import DaemonHandle, ServeDaemon, start_in_thread
+from repro.serve.tenants import (
+    AdmissionError,
+    AdmissionPolicy,
+    ServeError,
+    Tenant,
+    TenantRegistry,
+)
+
+__all__ = [
+    "AdmissionError",
+    "AdmissionPolicy",
+    "DaemonHandle",
+    "ServeClient",
+    "ServeDaemon",
+    "ServeError",
+    "ServeSubscriber",
+    "Tenant",
+    "TenantRegistry",
+    "dial_daemon",
+    "start_in_thread",
+    "stream_campaign",
+]

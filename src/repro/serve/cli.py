@@ -1,0 +1,158 @@
+"""Command-line interface: ``repro-serve`` / ``python -m repro.serve``.
+
+The operational entry point for the always-on localization daemon: bind
+the wire-protocol listener, resume any checkpointed tenants from
+``--state-dir``, serve until SIGTERM/SIGINT, then checkpoint every
+tenant and exit 0.  The Makefile's ``serve-start``/``serve-stop``/
+``serve-status`` targets wrap this with a pidfile and the ``/healthz``
+probe; clients are ``repro-stream --connect HOST:PORT`` and the
+:mod:`repro.serve.client` library.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import signal
+import sys
+from typing import Optional, Sequence
+
+from repro.api.transport import TransportError
+from repro.obs import log as obslog
+from repro.serve.server import ServeDaemon
+from repro.serve.tenants import AdmissionPolicy
+
+DEFAULT_LISTEN = "127.0.0.1:7700"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description=(
+            "Always-on multi-tenant localization daemon: many "
+            "campaigns, one process, reconnect-safe streams."
+        ),
+    )
+    parser.add_argument(
+        "--listen",
+        default=DEFAULT_LISTEN,
+        metavar="HOST:PORT",
+        help=(
+            "wire-protocol listen address (default: "
+            f"{DEFAULT_LISTEN}; port 0 picks a free one)"
+        ),
+    )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        metavar="DIR",
+        help=(
+            "durable tenant checkpoints live here; on startup every "
+            "*.serve.json in DIR is resumed (omit for a stateless "
+            "daemon that only checkpoints in memory)"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-port",
+        type=int,
+        default=None,
+        metavar="PORT",
+        help=(
+            "serve /metrics, /healthz and /statusz over HTTP on this "
+            "port (0 picks a free one); /statusz carries the "
+            "per-tenant rollup"
+        ),
+    )
+    parser.add_argument(
+        "--pidfile",
+        default=None,
+        metavar="FILE",
+        help="write the daemon pid here (removed on clean shutdown)",
+    )
+    parser.add_argument(
+        "--max-tenants",
+        type=int,
+        default=16,
+        metavar="N",
+        help="concurrent campaign limit (default: 16)",
+    )
+    parser.add_argument(
+        "--queue-depth",
+        type=int,
+        default=32,
+        metavar="N",
+        help=(
+            "per-tenant apply-queue bound in frames; a full queue "
+            "stops reading that tenant's sockets — backpressure "
+            "reaches the client as TCP flow control (default: 32)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=32,
+        metavar="N",
+        help=(
+            "durably checkpoint a tenant every N applied frames "
+            "(0: only at shutdown; default: 32)"
+        ),
+    )
+    parser.add_argument(
+        "--event-buffer",
+        type=int,
+        default=65536,
+        metavar="N",
+        help=(
+            "per-tenant verdict-event replay ring size "
+            "(default: 65536)"
+        ),
+    )
+    obslog.add_log_arguments(parser)
+    return parser
+
+
+async def _amain(daemon: ServeDaemon, quiet: bool) -> None:
+    await daemon.start()
+    loop = asyncio.get_running_loop()
+    for signum in (signal.SIGTERM, signal.SIGINT):
+        loop.add_signal_handler(signum, daemon.request_stop)
+    if not quiet:
+        print(f"repro-serve listening on {daemon.address}", flush=True)
+        if daemon.metrics_server is not None:
+            print(
+                f"telemetry: http://{daemon.metrics_server.address}"
+                f"/statusz",
+                flush=True,
+            )
+    await daemon.serve_forever()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    obslog.configure_from_args(args)
+    try:
+        policy = AdmissionPolicy(
+            max_tenants=args.max_tenants,
+            queue_depth=args.queue_depth,
+            checkpoint_every=args.checkpoint_every,
+            event_buffer=args.event_buffer,
+        )
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    daemon = ServeDaemon(
+        listen=args.listen,
+        state_dir=args.state_dir,
+        policy=policy,
+        metrics_port=args.metrics_port,
+        pidfile=args.pidfile,
+    )
+    try:
+        asyncio.run(_amain(daemon, quiet=False))
+    except (TransportError, OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    return 0
+
+
+__all__ = ["DEFAULT_LISTEN", "build_parser", "main"]

@@ -245,11 +245,33 @@ def restore_engine(
     return engine
 
 
+def state_summary(state: Dict[str, Any]) -> Dict[str, Any]:
+    """A one-glance digest of an :func:`engine_state` document.
+
+    What an operator surface (the serve daemon's resume log line, a
+    status endpoint) wants to say about a checkpoint without decoding
+    the problem bodies: window counts, the stream watermark, and how
+    much the engine had ingested.
+    """
+    problems = state.get("problems", [])
+    closed = sum(1 for entry in problems if entry.get("closed"))
+    stats = state.get("stats", {})
+    return {
+        "problems": len(problems),
+        "open": len(problems) - closed,
+        "closed": closed,
+        "watermark": state.get("watermark"),
+        "observations": stats.get("observations", 0),
+        "measurements": stats.get("measurements", 0),
+    }
+
+
 __all__ = [
     "STATE_FORMAT",
     "engine_state",
     "restore_engine",
     "state_slice",
+    "state_summary",
     "discard_to_dict",
     "discard_from_dict",
     "identification_to_dict",

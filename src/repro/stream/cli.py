@@ -165,6 +165,26 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="NAME",
         help="replay the jobs of this persisted sweep from --store",
     )
+    parser.add_argument(
+        "--connect",
+        default=None,
+        metavar="HOST:PORT",
+        help=(
+            "thin-client mode: run the campaign locally but stream it "
+            "to a repro-serve daemon at this address instead of an "
+            "in-process backend (drain stays byte-identical)"
+        ),
+    )
+    parser.add_argument(
+        "--campaign",
+        default=None,
+        metavar="ID",
+        help=(
+            "campaign id for --connect (default: PRESET-sSEED); "
+            "reattaching with the same id resumes the daemon-side "
+            "session"
+        ),
+    )
     return parser
 
 
@@ -378,6 +398,97 @@ def run_fresh(
         _close_metrics(server, metrics_linger)
 
 
+def run_connect(
+    job: JobSpec,
+    address: str,
+    campaign: Optional[str] = None,
+    event_limit: int = DEFAULT_EVENT_LIMIT,
+    json_mode: bool = False,
+    backend: str = BACKEND_INLINE,
+    shards: int = 2,
+    transport: str = "pipe",
+) -> int:
+    """Thin-client mode: the campaign runs here, the engine runs there.
+
+    The world builds locally (it is the measurement source); every
+    measurement streams to the serve daemon at ``address`` under
+    ``campaign``'s tenant, and the drained result comes back over the
+    wire — byte-identical to running the same config in-process.
+    """
+    from repro.scenario.world import build_world
+    from repro.serve.client import ServeClient
+
+    config = _session_config(job, backend, shards, transport)
+    if campaign is None:
+        campaign = f"{job.preset}-s{job.seed}"
+    printer: Optional[_EventPrinter] = None
+    if not json_mode and event_limit != 0:
+        printer = _EventPrinter(event_limit)
+    world = build_world(config.scenario_config())
+    if not json_mode:
+        print(
+            f"streaming {job.preset!r} (seed {job.seed}) to serve "
+            f"daemon at {address} as campaign {campaign!r}: "
+            f"{len(world.vantage_points)} vantage points, "
+            f"{len(world.test_list)} URLs"
+        )
+    client = ServeClient(
+        address,
+        campaign,
+        config=config,
+        ip2as=world.ip2as,
+        want_events=printer is not None,
+        on_event=printer,
+    )
+    client.attach()
+    try:
+        world.platform.add_listener(client.ingest_measurement)
+        try:
+            world.platform.run_campaign()
+        finally:
+            world.platform.remove_listener(client.ingest_measurement)
+        result = client.drain()
+    finally:
+        client.close()
+    true_censors = sorted(world.deployment.censor_asns)
+    by_status = {
+        status.value: count
+        for status, count in sorted(
+            result.by_status().items(), key=lambda item: item[0].value
+        )
+    }
+    if json_mode:
+        print(
+            json.dumps(
+                {
+                    "backend": "serve",
+                    "address": address,
+                    "campaign": campaign,
+                    "problems": len(result.solutions),
+                    "by_status": by_status,
+                    "identified_censors": result.identified_censor_asns,
+                    "true_censors": true_censors,
+                    "reconnects": client.reconnects,
+                },
+                indent=1,
+                sort_keys=True,
+            )
+        )
+    else:
+        print(
+            f"\ndaemon drained {len(result.solutions)} problems: "
+            + ", ".join(
+                f"{count} {status}" for status, count in by_status.items()
+            )
+        )
+        identified = result.identified_censor_asns
+        print(
+            f"censors: {len(identified)} confirmed of "
+            f"{len(true_censors)} deployed"
+        )
+    return 0
+
+
 def run_replay(
     store_dir: str,
     name: str,
@@ -456,6 +567,27 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     obslog.configure_from_args(args)
     try:
+        if args.connect is not None:
+            # Connect failures and daemon refusals print one actionable
+            # line each (TransportError carries the hint), never a
+            # traceback.
+            from repro.api.transport import TransportError
+            from repro.serve.tenants import ServeError
+
+            try:
+                return run_connect(
+                    job_from_args(args),
+                    args.connect,
+                    campaign=args.campaign,
+                    event_limit=args.events,
+                    json_mode=args.json,
+                    backend=args.backend,
+                    shards=args.shards,
+                    transport=args.transport,
+                )
+            except (TransportError, ServeError) as exc:
+                print(f"error: {exc}", file=sys.stderr)
+                return 2
         if args.replay is not None:
             if args.store is None:
                 print(
@@ -491,4 +623,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
 
-__all__ = ["main", "build_parser", "job_from_args", "run_fresh", "run_replay"]
+__all__ = [
+    "main",
+    "build_parser",
+    "job_from_args",
+    "run_connect",
+    "run_fresh",
+    "run_replay",
+]
