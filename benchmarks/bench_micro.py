@@ -209,6 +209,69 @@ def test_micro_sharded_drain(benchmark, bench_world, bench_dataset,
     )
 
 
+@pytest.mark.parametrize(
+    "migration", ["grow_2_to_3", "pin_8_buckets"]
+)
+def test_micro_rebalance_commit(benchmark, bench_world, bench_dataset,
+                                migration):
+    """Live-rebalance latency: time-to-commit vs moved-bucket count.
+
+    Each round loads a 2-shard backend with 2000 observations, then
+    times one full migration — quiesce, slice extraction, transfer,
+    epoch commit — for two movement profiles: a ring-driven grow
+    (2 → 3 workers, ~1/3 of the buckets move) and a surgical 8-bucket
+    override pin.  ``extra_info`` records the moved-bucket count next
+    to the commit wall time, so the trajectory shows migration cost
+    scaling with movement, not with fleet size.
+    """
+    observations, _ = build_observations(bench_dataset, bench_world.ip2as)
+    feed = observations[:2000]
+    config = SessionConfig(
+        preset="paper_shaped",
+        execution=ExecutionPolicy(backend="sharded", shards=2),
+    )
+    holder = {"backends": [], "report": None}
+
+    def setup():
+        backend = ShardedBackend(
+            BackendContext(
+                config=config,
+                ip2as=bench_world.ip2as,
+                country_by_asn=bench_world.country_by_asn,
+            )
+        )
+        for observation in feed:
+            backend.ingest_observation(observation)
+        placement = backend.placement
+        if migration == "grow_2_to_3":
+            new_map = placement.with_shards(3)
+        else:
+            pairs = sorted(backend._known_pairs())[:8]
+            new_map = placement.with_overrides(
+                {
+                    pair: (placement.shard_for(*pair) + 1) % 2
+                    for pair in pairs
+                }
+            )
+        holder["backends"].append(backend)
+        return (backend, new_map), {}
+
+    def commit(backend, new_map):
+        holder["report"] = backend.rebalance(new_map)
+        return holder["report"]
+
+    benchmark.pedantic(commit, setup=setup, rounds=3, iterations=1)
+    for backend in holder["backends"]:
+        backend.close()
+    report = holder["report"]
+    assert report["moved_buckets"] > 0
+    benchmark.extra_info["observations"] = len(feed)
+    benchmark.extra_info["moved_buckets"] = report["moved_buckets"]
+    benchmark.extra_info["commit_ms"] = round(
+        benchmark.stats.stats.mean * 1e3, 2
+    )
+
+
 def test_micro_metrics_overhead(benchmark, bench_world, bench_dataset):
     """Cost of a live metrics registry on the hot ingest path.
 

@@ -54,6 +54,12 @@ from repro.api.config import (
     ExecutionPolicy,
     SessionConfig,
 )
+from repro.api.placement import (
+    Autoscaler,
+    AutoscalePolicy,
+    PartitionMap,
+    bucket_hash,
+)
 from repro.api.session import (
     LocalizationSession,
     SessionOutcome,
@@ -73,6 +79,10 @@ __all__ = [
     "BackendError",
     "backend_for",
     "shard_of",
+    "PartitionMap",
+    "Autoscaler",
+    "AutoscalePolicy",
+    "bucket_hash",
     "BACKENDS",
     "TRANSPORTS",
     "CHECKPOINT_FORMAT",

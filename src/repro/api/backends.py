@@ -52,7 +52,6 @@ import queue as queue_module
 import threading
 import time
 import traceback
-import zlib
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -70,7 +69,7 @@ from repro.core.pipeline import (
     observation_from_dict,
     problem_key_from_dict,
 )
-from repro.core.problem import SolutionStatus, SolveStats
+from repro.core.problem import SolveStats
 from repro.core.splitting import ProblemKey, window_start
 from repro.iclab.dataset import Dataset
 from repro.iclab.measurement import Measurement
@@ -82,12 +81,16 @@ from repro.obs.spans import SpanRecorder, TRACK_WORKER, shard_track
 from repro.obs.trace import TraceContext, Tracer
 from repro.stream.checkpoint import (
     STATE_FORMAT,
+    adopt_slice,
+    confirmed_from_problems,
     discard_from_dict,
     discard_to_dict,
     engine_state,
+    extract_slice,
     identification_from_dict,
     identification_to_dict,
     restore_engine,
+    split_state,
     state_slice,
 )
 from repro.stream.engine import (
@@ -102,6 +105,7 @@ from repro.util.timeutil import TimeWindow
 
 from repro.api import wire
 from repro.api.config import TRANSPORT_SOCKET, SessionConfig
+from repro.api.placement import PartitionMap, shard_of  # noqa: F401  (re-export)
 from repro.api.transport import (
     _CODEC_BUCKETS,
     PipeTransport,
@@ -120,16 +124,6 @@ _worker_log = obslog.get_logger("api.worker")
 
 # Consecutive respawn failures before recovery gives up on a shard.
 RECOVERY_ATTEMPTS = 3
-
-
-def shard_of(url: str, anomaly_value: str, shards: int) -> int:
-    """The worker owning every window of one (URL, anomaly) pair.
-
-    A stable content hash (not Python's randomized ``hash``) so the same
-    observation routes identically in every process and every run.
-    """
-    digest = zlib.crc32(f"{anomaly_value}|{url}".encode("utf-8"))
-    return digest % shards
 
 
 class BackendError(RuntimeError):
@@ -387,6 +381,12 @@ def run_shard_worker(transport: ShardTransport) -> None:
     pipeline_config = config.pipeline_config()
     late_policy = config.execution.late_policy
     events: List[VerdictEvent] = []
+    # Rebalance stash: slices extracted by a ``rebalance_begin`` wait
+    # here (keyed by map epoch) until the parent fetches them and the
+    # ``rebalance_commit`` drops them.  Worker-local and rebuilt
+    # deterministically by recovery replay, since the begin frame is in
+    # the parent's replay log while the read-only fetch is not.
+    pending_slices: Dict[int, Dict[str, Any]] = {}
     # Observability (hello options, format 2): "metrics" stands up a
     # worker-local registry — shipped back shard-labeled in the drain
     # telemetry — and "ack" asks for an empty events reply per obs chunk
@@ -490,6 +490,42 @@ def run_shard_worker(transport: ShardTransport) -> None:
                     engine.attach_spans(spans, track=TRACK_WORKER)
                 if want_events:
                     engine.subscribe(events.append)
+                # A restore resets the engine wholesale; stashes from the
+                # old incarnation are stale (replayed begin frames, if
+                # any, rebuild them from the restored state).
+                pending_slices.clear()
+                transport.send(("ok",))
+            elif kind == "rebalance_begin":
+                # Logged frame: extract the moving pairs' problems out of
+                # the engine into the epoch's stash.  Pure function of
+                # engine state, so a recovery replay re-extracts the
+                # identical slice.
+                pending_slices[message[1]] = extract_slice(
+                    engine, message[2]
+                )
+                transport.send(("ok",))
+            elif kind == "slice_fetch":
+                # Read-only (never logged): ship the stashed slice.  The
+                # parent resends this after a recovery, like "state".
+                stash = pending_slices.get(message[1])
+                if stash is None:
+                    raise ValueError(
+                        f"no slice stashed for epoch {message[1]}"
+                    )
+                transport.send(("slice", message[1], stash))
+            elif kind == "slice_transfer":
+                # Logged frame: adopt problems migrating to this shard.
+                adopt_slice(engine, message[2])
+                transport.send(("ok",))
+            elif kind == "rebalance_commit":
+                # Logged frame: the epoch is live everywhere; stashes at
+                # or below it can never be fetched again.
+                for epoch in [
+                    epoch
+                    for epoch in pending_slices
+                    if epoch <= message[1]
+                ]:
+                    del pending_slices[epoch]
                 transport.send(("ok",))
             elif kind == "drain":
                 if spans is not None:
@@ -906,6 +942,16 @@ class ShardedBackend(ExecutionBackend):
         self._discard = DiscardStats()
         self._stats = StreamStats()     # parent-side ingest counters
         self._conversion_cache: Dict = {}
+        # The placement layer: every routing decision goes through the
+        # current PartitionMap (seeded from the policy's shard count,
+        # replaced wholesale by rebalance()); the cache memoizes its
+        # answers per (url, anomaly) pair and is dropped on every epoch
+        # change.
+        self._placement = PartitionMap(policy.shards)
+        self._rebalances = 0            # committed epoch changes
+        self._moved_buckets = 0         # pairs migrated across all of them
+        self._last_rebalance: Optional[float] = None  # unix seconds
+        self._rebalance_allowed = policy.rebalance
         self._shard_cache: Dict[Tuple[str, str], int] = {}
         self._buffers: List[List[Tuple]] = [
             [] for _ in range(self.shards)
@@ -946,6 +992,9 @@ class ShardedBackend(ExecutionBackend):
             self._metrics.add_collector(
                 self._collect_shard_health, key="sharded-backend"
             )
+            self._metrics.add_collector(
+                self._collect_placement, key="sharded-placement"
+            )
         self._merged_solve_stats: Optional[SolveStats] = None
         self._worker_telemetry: List[Dict[str, Any]] = []
 
@@ -954,11 +1003,15 @@ class ShardedBackend(ExecutionBackend):
         acking while frames are outstanding.  Feeds ``/healthz`` — a
         hung-but-alive worker shows up here, not in ``repro_shard_up``.
         """
+        # Local refs + a length guard: metrics scrapes run on their own
+        # thread, and a live rebalance resizes these lists under us.
         workers = self._workers
         now = registry.clock()
-        for index, shard_metrics in enumerate(self._shard_metrics):
+        for index, shard_metrics in enumerate(list(self._shard_metrics)):
             outstanding = (
-                workers[index].outstanding if workers is not None else 0
+                workers[index].outstanding
+                if workers is not None and index < len(workers)
+                else 0
             )
             if outstanding <= 0:
                 shard_metrics.seconds_since_ack.set(0.0)
@@ -971,6 +1024,33 @@ class ShardedBackend(ExecutionBackend):
             shard_metrics.seconds_since_ack.set(
                 max(0.0, now - mark) if mark is not None else 0.0
             )
+
+    def _collect_placement(self, registry: MetricsRegistry) -> None:
+        """Snapshot-time placement telemetry: the live map epoch, the
+        fleet size, per-shard bucket (pair) counts, and when the last
+        rebalance committed.  Pure reporting — never consulted by
+        routing."""
+        placement = self._placement
+        registry.gauge("repro_placement_epoch").set(placement.epoch)
+        registry.gauge("repro_placement_shards").set(self.shards)
+        registry.gauge("repro_placement_last_rebalance_timestamp").set(
+            self._last_rebalance or 0.0
+        )
+        for index, count in enumerate(
+            placement.bucket_counts(self._known_pairs())
+        ):
+            registry.gauge(
+                "repro_placement_buckets", {"shard": str(index)}
+            ).set(count)
+
+    def _known_pairs(self) -> List[Tuple[str, str]]:
+        """Every (url, anomaly-value) pair the parent has routed so far
+        — the rebalance work list (restored problems included, since
+        ``restore()`` registers them with the tracker)."""
+        return [
+            (url, anomaly.value)
+            for (anomaly, url) in list(self._tracker._by_pair)
+        ]
 
     # -- worker lifecycle --------------------------------------------------
 
@@ -1084,6 +1164,45 @@ class ShardedBackend(ExecutionBackend):
                 self._restore_state = None
         return self._workers
 
+    def _add_worker(self, index: int) -> None:
+        """Grow the fleet by one shard (the rebalance scale-up path).
+
+        Self-hosted socket fleets get a fresh ephemeral listener; fixed
+        ``shard_hosts`` fleets cannot grow (rebalance() refuses before
+        calling here)."""
+        assert self._workers is not None
+        self._buffers.append([])
+        self._buffer_max_ts.append(None)
+        if (
+            self.transport_kind == TRANSPORT_SOCKET
+            and self._listeners is not None
+        ):
+            self._listeners.append(ShardListener("127.0.0.1:0"))
+        if self._shard_metrics is not None:
+            self._shard_metrics.append(
+                _ShardMetrics(self._metrics, index, self.transport_kind)
+            )
+        self._workers.append(_ShardWorker(self, index))
+
+    def _remove_worker(self, index: int) -> None:
+        """Retire one drained shard (the rebalance scale-down path):
+        consume every outstanding reply, zero its liveness gauges, ask
+        it to exit.  The caller truncates the per-shard lists."""
+        assert self._workers is not None
+        worker = self._workers[index]
+        while worker.outstanding > 0:
+            self._handle_reply(worker, self._next_reply(worker))
+        if self._shard_metrics is not None:
+            shard_metrics = self._shard_metrics[index]
+            shard_metrics.up.set(0)
+            shard_metrics.buffered.set(0)
+            shard_metrics.queue_depth.set(0)
+        if self._metrics is not None:
+            self._metrics.gauge(
+                "repro_placement_buckets", {"shard": str(index)}
+            ).set(0)
+        worker.close(wait=False)
+
     @property
     def listen_addresses(self) -> List[str]:
         """The bound per-shard socket addresses (socket transport only)."""
@@ -1162,8 +1281,8 @@ class ShardedBackend(ExecutionBackend):
         route = (observation.url, anomaly_value)
         shard = self._shard_cache.get(route)
         if shard is None:
-            shard = self._shard_cache[route] = shard_of(
-                route[0], route[1], self.shards
+            shard = self._shard_cache[route] = self._placement.shard_for(
+                route[0], route[1]
             )
         buffer = self._buffers[shard]
         buffer.append(wire.observation_to_wire(observation, anomaly_value))
@@ -1589,6 +1708,21 @@ class ShardedBackend(ExecutionBackend):
                 self._handle_reply(worker, reply)
         return payloads
 
+    def _request_one(
+        self, worker: _ShardWorker, frame: bytes, reply_tag: str
+    ) -> Tuple:
+        """One read-only request to one worker; returns the whole tagged
+        reply, servicing interleaved replies (and recoveries) on the
+        way — the single-shard sibling of :meth:`_collect`."""
+        self._send_request(worker, frame)
+        while True:
+            reply = self._next_reply(worker, resend=frame)
+            if reply[0] == reply_tag:
+                worker.outstanding -= 1
+                worker.failures = 0
+                return reply
+            self._handle_reply(worker, reply)
+
     def _merge_counters(
         self, payloads: List[Dict[str, Any]]
     ) -> Tuple[StreamStats, Dict[int, int], List[Dict[str, Any]]]:
@@ -1881,20 +2015,8 @@ class ShardedBackend(ExecutionBackend):
         that dies later restarts from it plus the replay log.
         """
         assert self._workers is not None
-        slices: List[List[Dict[str, Any]]] = [
-            [] for _ in range(self.shards)
-        ]
-        for entry in state["problems"]:
-            shard = shard_of(
-                entry["key"]["url"], entry["key"]["anomaly"], self.shards
-            )
-            slices[shard].append(entry)
-        for worker, problems in zip(self._workers, slices):
-            shard_slice = state_slice(
-                problems,
-                watermark=state["watermark"],
-                confirmed=_confirmed_from_problems(problems),
-            )
+        slices = split_state(state, self._placement, self.shards)
+        for worker, shard_slice in zip(self._workers, slices):
             worker.baseline = shard_slice
             worker.log.clear()
             worker.delivered_seq = 0
@@ -1903,6 +2025,221 @@ class ShardedBackend(ExecutionBackend):
         for worker in self._workers:
             while worker.outstanding > 0:
                 self._handle_reply(worker, self._next_reply(worker))
+
+    # -- elastic sharding --------------------------------------------------
+
+    @property
+    def placement(self) -> PartitionMap:
+        """The live routing map."""
+        return self._placement
+
+    def rebalance(self, new_map: PartitionMap) -> Dict[str, Any]:
+        """Move the fleet to ``new_map`` live, mid-stream.
+
+        Only the moving (URL, anomaly) pairs quiesce: sources extract
+        them into an epoch-keyed stash (``rebalance_begin``, logged —
+        recovery replay re-extracts deterministically), the parent
+        fetches each stash (``slice_fetch``, read-only, resent after a
+        recovery like ``state``), regroups the problems by the new map,
+        ships each destination its slice (``slice_transfer``, logged),
+        and commits the epoch everywhere.  Non-moving pairs never stop
+        flowing, and in-flight replay duplicates stay deduplicated by
+        the same shard-local sequences dead-shard recovery uses.
+
+        The drain stays byte-identical because nothing the merged result
+        depends on lives in the placement: solutions merge in the
+        parent's global creation order whatever shard closed them, and
+        stats/confirmed/identification accounting travels with the
+        moved pairs.
+        """
+        self._check_not_drained()
+        if not self._rebalance_allowed:
+            raise BackendError(
+                "rebalance is disabled by the execution policy "
+                "(ExecutionPolicy.rebalance=False)"
+            )
+        old_map = self._placement
+        if new_map.shards != self.shards and self._shard_hosts:
+            raise BackendError(
+                "cannot change the shard count of a fixed shard_hosts "
+                "fleet; bucket moves (overrides) are still allowed"
+            )
+        if new_map.epoch <= old_map.epoch:
+            # Maps built from scratch start at epoch 1; adopt the layout
+            # but force the epoch forward so commit frames (and worker
+            # stashes) stay unambiguous.
+            new_map = PartitionMap(
+                new_map.shards,
+                epoch=old_map.epoch + 1,
+                overrides=new_map.overrides,
+                vnodes=new_map.vnodes,
+            )
+        started = time.perf_counter()
+        workers = self._ensure_workers()
+        # Every already-routed observation must reach its old owner
+        # before any slice extraction sees the engine.
+        self._flush_all()
+        # Settle in-flight recovery snapshots so a "state" reply cannot
+        # interleave with the "slice" replies below.
+        for worker in workers:
+            while worker.snapshot_mark is not None:
+                self._handle_reply(worker, self._next_reply(worker))
+        # Grow first, so every destination exists before transfers.
+        for index in range(self.shards, new_map.shards):
+            self._add_worker(index)
+        pairs = self._known_pairs()
+        moved = old_map.moved_pairs(new_map, pairs)
+        epoch = new_map.epoch
+        by_source: Dict[int, List[Tuple[str, str]]] = {}
+        for pair, (source, _) in moved.items():
+            by_source.setdefault(source, []).append(pair)
+        # Phase 1 — extract: each source stashes its moving problems.
+        for source in sorted(by_source):
+            self._post_frame(
+                workers[source],
+                wire.encode(
+                    wire.rebalance_begin_frame(
+                        epoch, sorted(by_source[source])
+                    )
+                ),
+            )
+        # Phase 2 — fetch each stash and regroup by destination.
+        dest_problems: Dict[int, List[Dict[str, Any]]] = {}
+        dest_idents: Dict[int, List[Dict[str, Any]]] = {}
+        for source in sorted(by_source):
+            reply = self._request_one(
+                workers[source],
+                wire.encode(wire.slice_fetch_frame(epoch)),
+                "slice",
+            )
+            slice_state = reply[2]
+            for entry in slice_state["problems"]:
+                dest = new_map.shard_for(
+                    entry["key"]["url"], entry["key"]["anomaly"]
+                )
+                dest_problems.setdefault(dest, []).append(entry)
+            for ident in slice_state.get("identifications") or []:
+                dest = new_map.shard_for(
+                    ident["key"]["url"], ident["key"]["anomaly"]
+                )
+                dest_idents.setdefault(dest, []).append(ident)
+        # Phase 3 — transfer: each destination adopts its incoming
+        # problems (logged, so its recovery replay re-adopts them).
+        for dest in sorted(set(dest_problems) | set(dest_idents)):
+            problems = dest_problems.get(dest, [])
+            payload = state_slice(
+                problems,
+                watermark=self._watermark,
+                confirmed=confirmed_from_problems(problems),
+                identifications=dest_idents.get(dest) or [],
+            )
+            self._post_frame(
+                workers[dest],
+                wire.encode(wire.slice_transfer_frame(epoch, payload)),
+            )
+        # Phase 4 — commit everywhere: stashes die, the epoch is live.
+        commit = wire.encode(wire.rebalance_commit_frame(epoch))
+        for worker in workers:
+            self._post_frame(worker, commit)
+        # Route by the new map from here on.
+        self._placement = new_map
+        self._shard_cache.clear()
+        removed = list(range(new_map.shards, self.shards))
+        self.shards = new_map.shards
+        for index in removed:       # shrink: retire drained workers
+            self._remove_worker(index)
+        if removed:
+            del self._workers[self.shards:]
+            del self._buffers[self.shards:]
+            del self._buffer_max_ts[self.shards:]
+            if self._listeners is not None:
+                for listener in self._listeners[self.shards:]:
+                    listener.close()
+                del self._listeners[self.shards:]
+            if self._shard_metrics is not None:
+                del self._shard_metrics[self.shards:]
+        elapsed = time.perf_counter() - started
+        self._rebalances += 1
+        self._moved_buckets += len(moved)
+        self._last_rebalance = time.time()
+        if self._metrics is not None:
+            self._metrics.counter("repro_rebalances_total").inc()
+            self._metrics.counter(
+                "repro_rebalance_moved_buckets_total"
+            ).inc(len(moved))
+        _log.info(
+            "placement.rebalance",
+            extra=obslog.fields(
+                epoch=epoch,
+                shards=self.shards,
+                moved=len(moved),
+                seconds=round(elapsed, 6),
+            ),
+        )
+        return {
+            "epoch": epoch,
+            "shards": self.shards,
+            "moved_buckets": len(moved),
+            "seconds": elapsed,
+        }
+
+    def add_shard(self) -> Dict[str, Any]:
+        """Grow by one worker, migrating ~1/N of the buckets to it."""
+        return self.rebalance(
+            self._placement.with_shards(self.shards + 1)
+        )
+
+    def remove_shard(self) -> Dict[str, Any]:
+        """Shrink by one worker, migrating its buckets off first."""
+        if self.shards <= 1:
+            raise BackendError("cannot remove the last shard")
+        return self.rebalance(
+            self._placement.with_shards(self.shards - 1)
+        )
+
+    def shard_load(self) -> List[Dict[str, Any]]:
+        """Per-shard load signals for the autoscaler: ingest lag in
+        simulated-stream seconds (metrics mode only; 0.0 otherwise) and
+        outstanding-reply queue depth."""
+        if self._workers is None:
+            return [
+                {"shard": index, "lag": 0.0, "queue": 0}
+                for index in range(self.shards)
+            ]
+        load: List[Dict[str, Any]] = []
+        for index, worker in enumerate(self._workers):
+            lag = 0.0
+            if self._shard_metrics is not None:
+                shard_metrics = self._shard_metrics[index]
+                if (
+                    shard_metrics.sent_watermark is not None
+                    and shard_metrics.acked_watermark is not None
+                ):
+                    lag = float(
+                        max(
+                            0,
+                            shard_metrics.sent_watermark
+                            - shard_metrics.acked_watermark,
+                        )
+                    )
+            load.append(
+                {"shard": index, "lag": lag, "queue": worker.outstanding}
+            )
+        return load
+
+    def placement_status(self) -> Dict[str, Any]:
+        """Operator view of the placement layer (statusz / top)."""
+        return {
+            "epoch": self._placement.epoch,
+            "shards": self.shards,
+            "bucket_counts": self._placement.bucket_counts(
+                self._known_pairs()
+            ),
+            "overrides": len(self._placement.overrides),
+            "rebalances": self._rebalances,
+            "moved_buckets": self._moved_buckets,
+            "last_rebalance": self._last_rebalance,
+        }
 
     # -- reporting ---------------------------------------------------------
 
@@ -1923,28 +2260,6 @@ class ShardedBackend(ExecutionBackend):
         *shard's* tallies, like the event counters.
         """
         return self._merged_identifications
-
-
-def _confirmed_from_problems(
-    problems: List[Dict[str, Any]],
-) -> Dict[str, int]:
-    """Confirmed-censor counts implied by a slice's closed windows.
-
-    Mirrors ``engine._confirmed_censors_of``: a satisfiable closed
-    window confirms exactly its solution's censors; unsatisfiable
-    windows confirm none.
-    """
-    confirmed: Dict[int, int] = {}
-    unsat = SolutionStatus.UNSATISFIABLE.value
-    for entry in problems:
-        solution = entry.get("solution")
-        if not entry.get("closed") or solution is None:
-            continue
-        if solution["status"] == unsat:
-            continue
-        for asn in solution["censors"]:
-            confirmed[asn] = confirmed.get(asn, 0) + 1
-    return {str(asn): count for asn, count in sorted(confirmed.items())}
 
 
 def _sort_identification_payloads(

@@ -24,6 +24,8 @@ from repro.runner.spec import WITH_CHURN, JobSpec
 from repro.scenario.config import ScenarioConfig
 from repro.stream.engine import LATE_ERROR, LATE_REOPEN
 
+from repro.api.placement import AutoscalePolicy
+
 BACKEND_INLINE = "inline"
 BACKEND_SHARDED = "sharded"
 BACKENDS = (BACKEND_INLINE, BACKEND_SHARDED)
@@ -52,6 +54,13 @@ class ExecutionPolicy:
     parent binds those addresses and waits ``connect_timeout`` seconds
     for external ``repro-runner shard-worker --connect`` processes.
 
+    ``rebalance`` gates live placement changes on the sharded backend:
+    ``session.rebalance()`` / ``add_shard()`` / ``remove_shard()`` and
+    the autoscaler all refuse when it is off, so a deployment can pin a
+    static layout.  ``autoscale`` is the :class:`AutoscalePolicy` the
+    session (or serve tenant) polls — disabled by default; enabling it
+    only has an effect on the sharded backend.
+
     ``recovery`` keeps a dead shard from failing the stream: the parent
     respawns (pipe) or re-accepts (socket) the worker and rebuilds it
     from its last checkpoint slice plus a frame-replay log.
@@ -77,6 +86,8 @@ class ExecutionPolicy:
     connect_timeout: float = 30.0      # socket: accept/reconnect seconds
     recovery: bool = True              # respawn dead shards from checkpoints
     shard_checkpoint_every: int = 0    # chunks between recovery snapshots
+    rebalance: bool = True             # allow live placement changes
+    autoscale: AutoscalePolicy = field(default_factory=AutoscalePolicy)
 
     def __post_init__(self) -> None:
         if self.backend not in BACKENDS:
@@ -110,9 +121,19 @@ class ExecutionPolicy:
             raise ValueError("connect_timeout must be positive")
         if self.shard_checkpoint_every < 0:
             raise ValueError("shard_checkpoint_every must be >= 0")
+        if self.autoscale.enabled and not self.rebalance:
+            raise ValueError(
+                "autoscale needs rebalance=True — an autoscaler that "
+                "cannot move buckets has nothing to do"
+            )
+        if self.autoscale.enabled and self.shard_hosts:
+            raise ValueError(
+                "autoscale cannot grow a fixed shard_hosts fleet; drop "
+                "shard_hosts (self-spawned workers) or disable autoscale"
+            )
 
     def to_dict(self) -> Dict[str, Any]:
-        payload = dataclasses.asdict(self)
+        payload = dataclasses.asdict(self)   # recurses into autoscale
         payload["shard_hosts"] = list(self.shard_hosts)
         return payload
 
@@ -121,6 +142,10 @@ class ExecutionPolicy:
         kwargs = dict(payload)
         if "shard_hosts" in kwargs:
             kwargs["shard_hosts"] = tuple(kwargs["shard_hosts"])
+        if isinstance(kwargs.get("autoscale"), dict):
+            kwargs["autoscale"] = AutoscalePolicy.from_dict(
+                kwargs["autoscale"]
+            )
         return cls(**kwargs)
 
 
@@ -238,6 +263,7 @@ __all__ = [
     "TRANSPORTS",
     "TRANSPORT_PIPE",
     "TRANSPORT_SOCKET",
+    "AutoscalePolicy",
     "ExecutionPolicy",
     "SessionConfig",
 ]

@@ -61,10 +61,16 @@ from repro.util.profiling import StageTimer
 from repro.api.backends import (
     BackendContext,
     ExecutionBackend,
+    ShardedBackend,
     backend_for,
 )
 from repro.api.checkpoint import read_checkpoint, write_checkpoint
 from repro.api.config import ExecutionPolicy, SessionConfig
+from repro.api.placement import (
+    Autoscaler,
+    AutoscalePolicy,
+    PartitionMap,
+)
 
 _log = obslog.get_logger("api.session")
 
@@ -523,6 +529,78 @@ class LocalizationSession:
             ),
         )
         return result
+
+    # -- elastic sharding --------------------------------------------------
+
+    def _sharded_backend(self, what: str) -> ShardedBackend:
+        if not self.config.execution.rebalance:
+            raise RuntimeError(
+                f"{what} is disabled by the execution policy "
+                "(ExecutionPolicy.rebalance=False)"
+            )
+        backend = self.backend
+        if not isinstance(backend, ShardedBackend):
+            raise RuntimeError(
+                f"{what} needs the sharded backend; this session runs "
+                f"execution.backend={self.config.execution.backend!r}"
+            )
+        return backend
+
+    @property
+    def placement(self) -> Optional[PartitionMap]:
+        """The live routing map (sharded backend only; None otherwise)."""
+        backend = self._backend
+        if isinstance(backend, ShardedBackend):
+            return backend.placement
+        return None
+
+    def rebalance(
+        self,
+        new_map: Optional[PartitionMap] = None,
+        overrides: Optional[Dict] = None,
+    ) -> Dict[str, Any]:
+        """Live-migrate the sharded fleet to a new placement mid-stream.
+
+        Pass a full :class:`PartitionMap`, or just ``overrides``
+        (``{(url, anomaly_value): shard}``; ``None`` values unpin) for a
+        hot-bucket migration on the current layout.  Only the moving
+        buckets quiesce; the drain stays byte-identical to an
+        uninterrupted run.  Returns the commit summary (epoch, shard
+        count, moved bucket count, seconds).
+        """
+        backend = self._sharded_backend("rebalance()")
+        if new_map is None:
+            if overrides is None:
+                raise ValueError(
+                    "rebalance() needs a new_map or overrides"
+                )
+            new_map = backend.placement.with_overrides(overrides)
+        return backend.rebalance(new_map)
+
+    def add_shard(self) -> Dict[str, Any]:
+        """Grow the sharded fleet by one worker, live."""
+        return self._sharded_backend("add_shard()").add_shard()
+
+    def remove_shard(self) -> Dict[str, Any]:
+        """Shrink the sharded fleet by one worker, live."""
+        return self._sharded_backend("remove_shard()").remove_shard()
+
+    def autoscaler(
+        self,
+        policy: Optional[AutoscalePolicy] = None,
+        signals=None,
+        clock=time.monotonic,
+    ) -> Autoscaler:
+        """An :class:`Autoscaler` bound to this session.
+
+        ``policy`` defaults to the execution policy's ``autoscale``
+        block; the caller owns the polling cadence (call ``poll()``
+        from whatever loop already owns the session — serve tenants do
+        this per applied message).
+        """
+        if policy is None:
+            policy = self.config.execution.autoscale
+        return Autoscaler(self, policy, signals=signals, clock=clock)
 
     # -- checkpointing -----------------------------------------------------
 

@@ -22,6 +22,7 @@ run two worker fleets on localhost without colliding).
 from __future__ import annotations
 
 import abc
+import random
 import socket
 import struct
 import time
@@ -334,48 +335,85 @@ class ShardListener:
             pass
 
 
-def dial(
-    address: str,
+def retry_dial(
+    connect,
     retry_for: float = 30.0,
-    peer: str = "peer",
+    describe: str = "peer",
     hint: Optional[str] = None,
-) -> SocketTransport:
-    """Dial a listener, retrying with backoff until ``retry_for``.
+    base_delay: float = 0.05,
+    max_delay: float = 1.0,
+    jitter: float = 0.25,
+    rng=None,
+    clock=time.monotonic,
+    sleep=time.sleep,
+):
+    """Call ``connect()`` until it succeeds or ``retry_for`` elapses.
+
+    The one connect-retry loop every dialing path shares (shard workers
+    re-dialing their parent, serve clients re-dialing the daemon):
+    exponential backoff from ``base_delay`` capped at ``max_delay``,
+    with a ±``jitter`` fraction of randomization per sleep so a fleet of
+    workers restarted together does not re-dial in lockstep.  Retries on
+    ``OSError`` only — anything else is a bug and propagates.
 
     On exhaustion the :class:`TransportError` is **one actionable
-    line** — the address, how long and how many times we tried, the
-    last OS error, and ``hint`` (what the operator should start) — not
-    a raw traceback; the CLIs print it verbatim as their whole error
-    output.
+    line** — ``describe`` (who we dialed), how long and how many times
+    we tried, the last OS error, and ``hint`` (what the operator should
+    start) — not a raw traceback; the CLIs print it verbatim as their
+    whole error output.
+
+    ``rng``/``clock``/``sleep`` are injectable for tests; jitter never
+    influences any result, only retry spacing.
     """
-    host, port = parse_address(address)
-    deadline = time.monotonic() + retry_for
-    delay = 0.05
+    rand = rng.uniform if rng is not None else random.uniform
+    deadline = clock() + retry_for
+    delay = base_delay
     attempts = 0
     while True:
         attempts += 1
         try:
-            transport = SocketTransport(
-                socket.create_connection((host, port), timeout=10.0)
-            )
+            return connect()
         except OSError as exc:
-            if time.monotonic() >= deadline:
+            if clock() >= deadline:
                 message = (
-                    f"cannot connect to {peer} at {address} "
+                    f"cannot connect to {describe} "
                     f"({attempts} attempt{'s' if attempts != 1 else ''} "
                     f"over {retry_for:g}s, last error: {exc})"
                 )
                 if hint:
                     message += f" — {hint}"
                 raise TransportError(message) from exc
-            time.sleep(delay)
-            delay = min(delay * 2, 1.0)
-            continue
-        _log.info(
-            "transport.connect",
-            extra=obslog.fields(address=address, attempts=attempts),
+            sleep(delay * rand(1.0 - jitter, 1.0 + jitter))
+            delay = min(delay * 2, max_delay)
+
+
+def dial(
+    address: str,
+    retry_for: float = 30.0,
+    peer: str = "peer",
+    hint: Optional[str] = None,
+) -> SocketTransport:
+    """Dial a listener through :func:`retry_dial`'s backoff loop."""
+    host, port = parse_address(address)
+    attempts = [0]
+
+    def connect() -> SocketTransport:
+        attempts[0] += 1
+        return SocketTransport(
+            socket.create_connection((host, port), timeout=10.0)
         )
-        return transport
+
+    transport = retry_dial(
+        connect,
+        retry_for=retry_for,
+        describe=f"{peer} at {address}",
+        hint=hint,
+    )
+    _log.info(
+        "transport.connect",
+        extra=obslog.fields(address=address, attempts=attempts[0]),
+    )
+    return transport
 
 
 def connect_worker(
@@ -408,4 +446,5 @@ __all__ = [
     "connect_worker",
     "dial",
     "parse_address",
+    "retry_dial",
 ]

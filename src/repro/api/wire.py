@@ -49,6 +49,21 @@ daemon's durable watermark — the only signal that lets a client
 truncate its resend buffer).  The shard parent/worker conversation is
 unchanged; the bump only keeps a format-2 worker from silently talking
 to a format-3 daemon.
+
+Format 4 added the **rebalance vocabulary** — the four parent → worker
+frames that migrate live (URL, anomaly) buckets between shards, every
+one carrying the destination :class:`~repro.api.placement.PartitionMap`
+epoch so two overlapping migrations can never be confused:
+``rebalance_begin`` (extract the named pairs' problems from the live
+engine and stash the slice under the epoch — logged, so a recovery
+replay deterministically rebuilds the stash), ``slice_fetch`` (read-only
+fetch of a stashed slice, answered by a ``slice`` reply — *not* logged,
+exactly like ``state``, and therefore resendable after a mid-fetch
+worker death), ``slice_transfer`` (adopt a slice into the destination's
+live engine — logged, so destination recovery replays the adoption),
+and ``rebalance_commit`` (drop stashes at or below the epoch — logged).
+Slices travel in the :mod:`repro.stream.checkpoint` dict format, the
+same one restore/recovery baselines use.
 """
 
 from __future__ import annotations
@@ -63,7 +78,7 @@ from repro.core.splitting import Granularity, ProblemKey
 from repro.stream.events import VerdictEvent, VerdictKind
 from repro.util.timeutil import TimeWindow
 
-WIRE_FORMAT = 3
+WIRE_FORMAT = 4
 
 _PROTOCOL = pickle.HIGHEST_PROTOCOL
 
@@ -416,6 +431,37 @@ def checkpoint_ack_frame(applied_seq: int) -> Tuple:
     return ("checkpoint_ack", applied_seq)
 
 
+# -- rebalance vocabulary (format 4) -----------------------------------------
+#
+# Live bucket migration between shards.  All four frames carry the
+# destination PartitionMap epoch.  begin/transfer/commit mutate worker
+# state and are replay-logged like obs chunks (each answered by a
+# generic ("ok",)); slice_fetch is a read-only request answered by
+# ("slice", epoch, state_dict) and is re-sent, never replayed, after a
+# recovery — the replayed begin frame rebuilds the stash it reads.
+
+
+def rebalance_begin_frame(epoch: int, pairs: Tuple) -> Tuple:
+    """Extract ``pairs`` — ``((url, anomaly_value), ...)`` — from the
+    worker's live engine and stash the slice under ``epoch``."""
+    return ("rebalance_begin", epoch, tuple(pairs))
+
+
+def slice_fetch_frame(epoch: int) -> Tuple:
+    """Read back the slice stashed by ``rebalance_begin`` for ``epoch``."""
+    return ("slice_fetch", epoch)
+
+
+def slice_transfer_frame(epoch: int, state: Dict[str, Any]) -> Tuple:
+    """Adopt ``state`` (a checkpoint-format slice) into the live engine."""
+    return ("slice_transfer", epoch, state)
+
+
+def rebalance_commit_frame(epoch: int) -> Tuple:
+    """Drop every stashed slice at or below ``epoch`` (migration done)."""
+    return ("rebalance_commit", epoch)
+
+
 def check_hello_ack(message: Tuple) -> None:
     """Validate a worker's hello reply."""
     if not message or message[0] != "hello":
@@ -455,4 +501,8 @@ __all__ = [
     "check_subscribe",
     "subscribed_frame",
     "checkpoint_ack_frame",
+    "rebalance_begin_frame",
+    "slice_fetch_frame",
+    "slice_transfer_frame",
+    "rebalance_commit_frame",
 ]

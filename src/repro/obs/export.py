@@ -119,6 +119,20 @@ METRIC_CATALOG: Dict[str, Tuple[str, str]] = {
         "histogram",
         "Chunk flush → verdict merge, per shard, traced across the "
         "wire on the parent's clock"),
+    # -- placement / elastic sharding -------------------------------------
+    "repro_placement_epoch": (
+        "gauge", "Live PartitionMap epoch (bumps on every rebalance)"),
+    "repro_placement_shards": (
+        "gauge", "Worker count under the live placement"),
+    "repro_placement_buckets": (
+        "gauge", "(URL, anomaly) pairs owned by the shard"),
+    "repro_placement_last_rebalance_timestamp": (
+        "gauge",
+        "Unix seconds of the last committed rebalance (0: never)"),
+    "repro_rebalances_total": (
+        "counter", "Placement epochs committed live"),
+    "repro_rebalance_moved_buckets_total": (
+        "counter", "Pairs migrated across all rebalances"),
     # -- shard workers (merged shard-labeled at drain) --------------------
     "repro_worker_chunk_seconds": (
         "histogram", "Worker-side ingest time per observation chunk"),
@@ -413,6 +427,44 @@ def shard_status(snapshot: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
     return shards
 
 
+_PLACEMENT_GAUGE_KEYS = {
+    "repro_placement_epoch": "epoch",
+    "repro_placement_shards": "shards",
+    "repro_placement_last_rebalance_timestamp": "last_rebalance",
+}
+_PLACEMENT_COUNTER_KEYS = {
+    "repro_rebalances_total": "rebalances",
+    "repro_rebalance_moved_buckets_total": "moved_buckets",
+}
+
+
+def placement_status(snapshot: Dict[str, Any]) -> Dict[str, Any]:
+    """The live placement view derived from the standard series.
+
+    Empty outside the sharded backend.  ``buckets`` maps the shard
+    label (``tenant/shard`` under the daemon, like :func:`shard_status`)
+    to the pair count that shard owns under the live map.
+    """
+    placement: Dict[str, Any] = {}
+    buckets: Dict[str, float] = {}
+    for entry in snapshot.get("gauges", ()):
+        name = entry["name"]
+        key = _PLACEMENT_GAUGE_KEYS.get(name)
+        if key is not None:
+            placement[key] = entry["value"]
+        elif name == "repro_placement_buckets":
+            shard = _shard_key(entry.get("labels", {}))
+            if shard is not None:
+                buckets[shard] = entry["value"]
+    for entry in snapshot.get("counters", ()):
+        key = _PLACEMENT_COUNTER_KEYS.get(entry["name"])
+        if key is not None:
+            placement[key] = entry["value"]
+    if buckets:
+        placement["buckets"] = buckets
+    return placement
+
+
 _TENANT_GAUGE_KEYS = {
     "repro_serve_tenant_up": "up",
     "repro_serve_received_seq": "received_seq",
@@ -421,9 +473,14 @@ _TENANT_GAUGE_KEYS = {
     "repro_serve_lag_frames": "lag_frames",
     "repro_serve_queue_depth": "queue_depth",
     "repro_serve_events_buffered": "events_buffered",
+    # Sharded tenants only: their placement gauges carry the tenant
+    # label, so each campaign's live map surfaces in its own row.
+    "repro_placement_epoch": "placement_epoch",
+    "repro_placement_shards": "placement_shards",
 }
 _TENANT_COUNTER_KEYS = {
     "repro_serve_checkpoints_total": "checkpoints",
+    "repro_rebalances_total": "rebalances",
 }
 
 
@@ -523,6 +580,7 @@ def status_document(
         "status": "ok" if not problems else "unhealthy",
         "problems": problems,
         "shards": shard_status(snapshot),
+        "placement": placement_status(snapshot),
         "tenants": tenant_status(snapshot),
         "events": events,
         "stream": stream,
@@ -670,6 +728,7 @@ __all__ = [
     "health_problems",
     "parse_label_block",
     "parse_prometheus",
+    "placement_status",
     "render_prometheus",
     "sanitize_name",
     "shard_status",

@@ -230,6 +230,21 @@ def _build_parser() -> argparse.ArgumentParser:
             "workers (default: pipe)"
         ),
     )
+    stream.add_argument(
+        "--autoscale",
+        action="store_true",
+        help=(
+            "let an Autoscaler add/remove shard workers mid-stream "
+            "(sharded backend, fresh mode only)"
+        ),
+    )
+    stream.add_argument(
+        "--max-shards",
+        type=int,
+        default=8,
+        metavar="N",
+        help="upper bound for --autoscale (default: 8)",
+    )
     stream.add_argument("--events", type=int, default=10, metavar="N")
     stream.add_argument("--verify", action="store_true")
     stream.add_argument("--json", action="store_true")
@@ -671,6 +686,12 @@ def _cmd_stream(args: argparse.Namespace) -> int:
     from repro.stream import cli as stream_cli
 
     if args.replay is not None:
+        if args.autoscale:
+            print(
+                "error: --autoscale is fresh-mode only",
+                file=sys.stderr,
+            )
+            return 2
         return stream_cli.run_replay(
             args.store,
             args.replay,
@@ -701,6 +722,7 @@ def _cmd_stream(args: argparse.Namespace) -> int:
         metrics_port=args.metrics_port,
         metrics_linger=args.metrics_linger,
         flight_dir=args.flight_dir,
+        autoscale=stream_cli._autoscale_policy(args),
     )
 
 
@@ -732,7 +754,9 @@ _SCRAPE_ERROR_HINT = (
 
 
 def _shard_rows(
-    shards: dict, rates: Optional[dict] = None
+    shards: dict,
+    rates: Optional[dict] = None,
+    buckets: Optional[dict] = None,
 ) -> List[Tuple]:
     rows = []
     for shard, view in sorted(
@@ -747,6 +771,7 @@ def _shard_rows(
                     if rates is not None
                     else f"{int(view.get('verdicts', 0))}"
                 ),
+                int((buckets or {}).get(shard, 0)),
                 int(view.get("queue_depth", 0)),
                 f"{view.get('ingest_lag', 0.0):.3f}s",
                 f"{view.get('seconds_since_ack', 0.0):.1f}s",
@@ -757,8 +782,28 @@ def _shard_rows(
 
 
 _TOP_HEADERS = [
-    "shard", "state", "ev/s", "queue", "lag", "silence", "recoveries"
+    "shard", "state", "ev/s", "buckets", "queue", "lag", "silence",
+    "recoveries",
 ]
+
+
+def _placement_line(placement: dict) -> Optional[str]:
+    """One-line placement summary for status/top frames."""
+    if not placement:
+        return None
+    last = placement.get("last_rebalance", 0.0) or 0.0
+    when = (
+        time.strftime("%H:%M:%S", time.localtime(last))
+        if last
+        else "never"
+    )
+    return (
+        f"placement: epoch {int(placement.get('epoch', 0))}  "
+        f"shards: {int(placement.get('shards', 0))}  "
+        f"rebalances: {int(placement.get('rebalances', 0))} "
+        f"({int(placement.get('moved_buckets', 0))} buckets moved, "
+        f"last: {when})"
+    )
 
 
 def _cmd_status(args: argparse.Namespace) -> int:
@@ -792,19 +837,28 @@ def _cmd_status(args: argparse.Namespace) -> int:
                 for kind, count in sorted(events.items())
             )
         )
+    placement = document.get("placement", {})
+    line = _placement_line(placement)
+    if line:
+        print(line)
     shards = document.get("shards", {})
     if shards:
         headers = [
-            "shard", "state", "verdicts", "queue", "lag", "silence",
-            "recoveries",
+            "shard", "state", "verdicts", "buckets", "queue", "lag",
+            "silence", "recoveries",
         ]
         print()
-        print(format_table(headers, _shard_rows(shards)))
+        print(
+            format_table(
+                headers,
+                _shard_rows(shards, buckets=placement.get("buckets")),
+            )
+        )
     tenants = document.get("tenants", {})
     if tenants:
         headers = [
             "tenant", "state", "received", "applied", "durable", "lag",
-            "queue", "events",
+            "queue", "events", "epoch",
         ]
         print()
         print(format_table(headers, _tenant_rows(tenants)))
@@ -825,6 +879,12 @@ def _tenant_rows(tenants: Dict[str, Any]) -> List[tuple]:
                 int(view.get("lag_frames", 0)),
                 int(view.get("queue_depth", 0)),
                 int(view.get("events_buffered", 0)),
+                # Sharded tenants only; inline campaigns show "-".
+                (
+                    int(view["placement_epoch"])
+                    if "placement_epoch" in view
+                    else "-"
+                ),
             )
         )
     return rows
@@ -832,7 +892,11 @@ def _tenant_rows(tenants: Dict[str, Any]) -> List[tuple]:
 
 def _cmd_top(args: argparse.Namespace) -> int:
     from urllib.error import URLError
-    from repro.obs.export import shard_status, status_document
+    from repro.obs.export import (
+        placement_status,
+        shard_status,
+        status_document,
+    )
 
     url = _endpoint_url(args.url, "/metrics.json")
 
@@ -860,8 +924,19 @@ def _cmd_top(args: argparse.Namespace) -> int:
                 or "none"
             )
         )
+        placement = placement_status(snapshot)
+        line = _placement_line(placement)
+        if line:
+            print(line)
         if shards:
-            print(format_table(_TOP_HEADERS, _shard_rows(shards, rates)))
+            print(
+                format_table(
+                    _TOP_HEADERS,
+                    _shard_rows(
+                        shards, rates, buckets=placement.get("buckets")
+                    ),
+                )
+            )
         else:
             print("no shard-labeled series (inline backend?)")
         return shards

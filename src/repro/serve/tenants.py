@@ -140,6 +140,13 @@ class Tenant:
         self.executor = ThreadPoolExecutor(
             max_workers=1, thread_name_prefix=f"tenant-{campaign}"
         )
+        # Per-tenant elasticity: polled on the tenant executor after
+        # every applied frame, so a rebalance can never race ingestion.
+        self.autoscaler = (
+            session.autoscaler()
+            if session.config.execution.autoscale.enabled
+            else None
+        )
         self._gauges = None
         if registry is not None:
             labels = {"tenant": campaign}
@@ -266,7 +273,30 @@ class Tenant:
         self.applied_seq = seq
         self.frames_since_checkpoint += 1
         self._note_applied(kind)
+        self._autoscale()
         return ("ack", seq)
+
+    def _autoscale(self) -> None:
+        scaler = self.autoscaler
+        if scaler is None or self.drained or self.failed is not None:
+            return
+        try:
+            action = scaler.poll()
+        except Exception as exc:
+            # A rebalance that died mid-flight may have extracted state
+            # into worker stashes without committing — better loud than
+            # a subtly wrong drain (the byte-identity contract).
+            self.fail(f"autoscale: {type(exc).__name__}: {exc}")
+            return
+        if action is not None:
+            _log.info(
+                "serve.tenant.autoscale",
+                extra=obslog.fields(
+                    tenant=self.campaign,
+                    direction=action,
+                    shards=scaler.actions[-1][1],
+                ),
+            )
 
     def _drain(self, seq: int, discard_payload) -> PipelineResult:
         if self.result is not None:

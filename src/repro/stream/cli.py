@@ -36,6 +36,7 @@ from repro.api.config import (
     ExecutionPolicy,
     SessionConfig,
 )
+from repro.api.placement import AutoscalePolicy
 from repro.api.session import LocalizationSession
 from repro.core.pipeline import DEFAULT_SOLUTION_CAP
 from repro.obs import log as obslog
@@ -103,6 +104,21 @@ def build_parser() -> argparse.ArgumentParser:
             "shard transport for --backend sharded: forked pipe "
             "workers, or TCP socket workers (default: pipe)"
         ),
+    )
+    parser.add_argument(
+        "--autoscale",
+        action="store_true",
+        help=(
+            "let an Autoscaler add/remove shard workers mid-stream as "
+            "per-shard lag and queue depth move (sharded backend only)"
+        ),
+    )
+    parser.add_argument(
+        "--max-shards",
+        type=int,
+        default=8,
+        metavar="N",
+        help="upper bound for --autoscale (default: 8)",
     )
     parser.add_argument(
         "--events",
@@ -208,14 +224,23 @@ def job_from_args(args: argparse.Namespace) -> JobSpec:
 
 
 def _session_config(
-    job: JobSpec, backend: str, shards: int, transport: str = "pipe"
+    job: JobSpec,
+    backend: str,
+    shards: int,
+    transport: str = "pipe",
+    autoscale: Optional[AutoscalePolicy] = None,
 ) -> SessionConfig:
-    return SessionConfig.from_job(
-        job,
-        execution=ExecutionPolicy(
-            backend=backend, shards=shards, transport=transport
-        ),
+    execution = ExecutionPolicy(
+        backend=backend, shards=shards, transport=transport
     )
+    if autoscale is not None:
+        execution = ExecutionPolicy(
+            backend=backend,
+            shards=shards,
+            transport=transport,
+            autoscale=autoscale,
+        )
+    return SessionConfig.from_job(job, execution=execution)
 
 
 class _EventPrinter:
@@ -351,12 +376,19 @@ def run_fresh(
     metrics_port: Optional[int] = None,
     metrics_linger: float = 0.0,
     flight_dir: Optional[str] = None,
+    autoscale: Optional[AutoscalePolicy] = None,
 ) -> int:
     """Fresh mode: build the world, drip-stream its campaign, report."""
+    if autoscale is not None and backend == BACKEND_INLINE:
+        print(
+            "error: --autoscale requires --backend sharded",
+            file=sys.stderr,
+        )
+        return 2
     registry, server = _open_metrics(metrics_port, json_mode)
     try:
         session = LocalizationSession(
-            _session_config(job, backend, shards, transport)
+            _session_config(job, backend, shards, transport, autoscale)
         )
         _subscribe_for_output(session, event_limit, json_mode)
         if registry is not None:
@@ -372,7 +404,22 @@ def run_fresh(
                 f"{len(world.vantage_points)} vantage points, "
                 f"{len(world.test_list)} URLs"
             )
+        scaler = None
+        if autoscale is not None and autoscale.enabled:
+            # Poll from the platform's measurement callback: the stream
+            # loop is single-threaded, so a rebalance can never race an
+            # ingest (poll() itself rate-limits to policy.check_every).
+            scaler = session.autoscaler()
+            world.platform.add_listener(lambda measurement: scaler.poll())
         outcome = session.stream()
+        if scaler is not None and not json_mode and scaler.actions:
+            print(
+                "autoscale: "
+                + ", ".join(
+                    f"{direction} to {count}"
+                    for direction, count in scaler.actions
+                )
+            )
         verified: Optional[bool] = None
         if verify:
             batch = world.pipeline(job.pipeline_config()).run(
@@ -381,6 +428,10 @@ def run_fresh(
             verified = batch.to_dict() == outcome.result.to_dict()
         if json_mode:
             payload = _summary_payload(session, world)
+            if scaler is not None:
+                payload["autoscale_actions"] = [
+                    list(action) for action in scaler.actions
+                ]
             if verified is not None:
                 payload["batch_equivalent"] = verified
             if registry is not None:
@@ -407,6 +458,7 @@ def run_connect(
     backend: str = BACKEND_INLINE,
     shards: int = 2,
     transport: str = "pipe",
+    autoscale: Optional[AutoscalePolicy] = None,
 ) -> int:
     """Thin-client mode: the campaign runs here, the engine runs there.
 
@@ -418,7 +470,9 @@ def run_connect(
     from repro.scenario.world import build_world
     from repro.serve.client import ServeClient
 
-    config = _session_config(job, backend, shards, transport)
+    # The config ships to the daemon whole — an autoscale policy in it
+    # makes the daemon-side tenant poll its own Autoscaler per frame.
+    config = _session_config(job, backend, shards, transport, autoscale)
     if campaign is None:
         campaign = f"{job.preset}-s{job.seed}"
     printer: Optional[_EventPrinter] = None
@@ -563,9 +617,26 @@ def _run_replay_jobs(
     return 1 if failures else 0
 
 
+def _autoscale_policy(
+    args: argparse.Namespace,
+) -> Optional[AutoscalePolicy]:
+    if not getattr(args, "autoscale", False):
+        return None
+    return AutoscalePolicy(
+        enabled=True, max_shards=max(1, args.max_shards)
+    )
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     obslog.configure_from_args(args)
+    if args.autoscale and args.replay:
+        print(
+            "error: --autoscale is not available in replay mode (the "
+            "replay loop does not own the ingest thread)",
+            file=sys.stderr,
+        )
+        return 2
     try:
         if args.connect is not None:
             # Connect failures and daemon refusals print one actionable
@@ -584,6 +655,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                     backend=args.backend,
                     shards=args.shards,
                     transport=args.transport,
+                    autoscale=_autoscale_policy(args),
                 )
             except (TransportError, ServeError) as exc:
                 print(f"error: {exc}", file=sys.stderr)
@@ -617,6 +689,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             metrics_port=args.metrics_port,
             metrics_linger=args.metrics_linger,
             flight_dir=args.flight_dir,
+            autoscale=_autoscale_policy(args),
         )
     except (FileNotFoundError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)

@@ -435,11 +435,15 @@ class TestDrainsUnchangedByTelemetry:
         telemetry = sharded._backend.worker_telemetry
         assert [entry["shard"] for entry in telemetry] == [0, 1]
         # Worker registries landed shard-labeled in the parent registry.
+        # Chunk-ingest histograms are the robust witness: every shard
+        # that owns any pair records them, whatever the placement layout
+        # routes where (sat counters only appear on shards whose
+        # problems needed the CDCL path).
         snapshot = registry.snapshot()
         worker_series = [
-            c
-            for c in snapshot["counters"]
-            if c["name"] == "repro_sat_solves_total"
+            h
+            for h in snapshot["histograms"]
+            if h["name"] == "repro_worker_chunk_seconds"
         ]
         assert sorted(
             entry["labels"]["shard"] for entry in worker_series
